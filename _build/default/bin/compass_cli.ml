@@ -1,0 +1,342 @@
+(* compass — command-line front end for the COMPASS compiler framework.
+
+   Subcommands:
+     info      hardware presets and model zoo summaries
+     compile   run one scheme on one workload, print the plan
+     validity  render a partition validity map (paper Fig. 5)
+     sweep     compare compass/greedy/layerwise across workloads (Fig. 6)  *)
+
+open Cmdliner
+open Compass_core
+
+let model_arg =
+  let doc =
+    "Network model: " ^ String.concat ", " Compass_nn.Models.all_names ^ "."
+  in
+  Arg.(value & opt string "resnet18" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let chip_arg =
+  let doc = "Chip preset: S, M or L (paper Table I)." in
+  Arg.(value & opt string "S" & info [ "c"; "chip" ] ~docv:"CHIP" ~doc)
+
+let batch_arg =
+  let doc = "Batch size per weight-replacement round." in
+  Arg.(value & opt int 16 & info [ "b"; "batch" ] ~docv:"N" ~doc)
+
+let scheme_arg =
+  let doc = "Partitioning scheme: compass, greedy or layerwise." in
+  Arg.(value & opt string "compass" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let objective_arg =
+  let doc = "GA objective: latency, energy or edp." in
+  Arg.(value & opt string "latency" & info [ "o"; "objective" ] ~docv:"OBJ" ~doc)
+
+let seed_arg =
+  let doc = "GA random seed." in
+  Arg.(value & opt int Ga.default_params.Ga.seed & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let simulate_arg =
+  let doc = "Also lower to instructions, simulate, and replay the DRAM trace." in
+  Arg.(value & flag & info [ "simulate" ] ~doc)
+
+let quick_arg =
+  let doc = "Use a small GA budget (population 24, 10 generations)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let tech_arg =
+  let doc = "IMC technology: sram, reram or mram (paper Sec. V-B)." in
+  Arg.(value & opt string "sram" & info [ "tech" ] ~docv:"TECH" ~doc)
+
+let lookup_tech name =
+  try Compass_arch.Technology.by_name name
+  with Not_found ->
+    Printf.eprintf "unknown technology %s (try sram, reram, mram)\n" name;
+    exit 2
+
+let retarget ~tech chip =
+  if tech.Compass_arch.Technology.name = "sram" then chip
+  else Compass_arch.Technology.chip tech chip
+
+let lookup_model name =
+  try Compass_nn.Models.by_name name
+  with Not_found ->
+    Printf.eprintf "unknown model %s (try: %s)\n" name
+      (String.concat ", " Compass_nn.Models.all_names);
+    exit 2
+
+let lookup_chip label =
+  try Compass_arch.Config.by_label label
+  with Not_found ->
+    Printf.eprintf "unknown chip %s (try S, M, L)\n" label;
+    exit 2
+
+let ga_params ~quick ~seed =
+  let base = if quick then Ga.quick_params else Ga.default_params in
+  { base with Ga.seed }
+
+(* info *)
+
+let info_cmd =
+  let run () =
+    print_endline "Hardware presets (paper Table I):";
+    Compass_util.Table.print (Compass_arch.Config.table1 ());
+    print_newline ();
+    print_endline "Model zoo at 4-bit weights (paper Table II):";
+    Compass_util.Table.print
+      (Compass_nn.Summary.table2
+         (List.map Compass_nn.Models.by_name Compass_nn.Models.all_names));
+    print_newline ();
+    print_endline "Support against chip S (Prev. = all-weights-on-chip compilers):";
+    Compass_util.Table.print
+      (Report.support_table (Compass_nn.Models.evaluation_models ())
+         Compass_arch.Config.chip_s)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print hardware presets and model sizes")
+    Term.(const run $ const ())
+
+(* compile *)
+
+let compile_cmd =
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"PATH" ~doc:"Archive the compiled plan (see Plan_text).")
+  in
+  let run model chip batch scheme objective seed simulate quick save tech =
+    let model = lookup_model model in
+    let chip = retarget ~tech:(lookup_tech tech) (lookup_chip chip) in
+    let scheme = Compiler.scheme_of_string scheme in
+    let objective = Fitness.objective_of_string objective in
+    let plan =
+      Compiler.compile ~objective ~ga_params:(ga_params ~quick ~seed) ~model ~chip ~batch
+        scheme
+    in
+    Format.printf "%a" Compiler.pp_plan plan;
+    (match plan.Compiler.ga with
+    | Some ga ->
+      Format.printf "GA: %d generations, %d evaluations, %d distinct spans@."
+        ga.Ga.generations_run ga.Ga.evaluations ga.Ga.cache_spans
+    | None -> ());
+    (match save with
+    | Some path ->
+      Plan_text.save path plan;
+      Format.printf "saved plan to %s@." path
+    | None -> ());
+    if simulate then begin
+      let m = Compiler.measure plan in
+      Format.printf "@.simulated: makespan %s (estimator %s), %d instructions@."
+        (Compass_util.Units.time_to_string m.Compiler.sim.Compass_isa.Sim.makespan_s)
+        (Compass_util.Units.time_to_string plan.Compiler.perf.Estimator.batch_latency_s)
+        m.Compiler.schedule.Scheduler.instruction_count;
+      Format.printf "%a@." Compass_dram.Dram.pp_stats m.Compiler.dram;
+      Format.printf "simulated energy:@.";
+      Compass_arch.Energy.pp_breakdown Format.std_formatter
+        m.Compiler.sim.Compass_isa.Sim.energy_components
+    end
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile one workload with one scheme")
+    Term.(
+      const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
+      $ seed_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg)
+
+(* plan: reload an archived plan *)
+
+let plan_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Archived plan (written by compile --save).")
+  in
+  let layers_arg =
+    Arg.(value & flag & info [ "layers" ] ~doc:"Also print the per-layer table.")
+  in
+  let run file layers =
+    match Plan_text.load file with
+    | plan ->
+      Format.printf "%a" Compiler.pp_plan plan;
+      if layers then Compass_util.Table.print (Report.plan_layer_table plan)
+    | exception Plan_text.Load_error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Reload and re-estimate an archived plan")
+    Term.(const run $ file_arg $ layers_arg)
+
+(* validity *)
+
+let validity_cmd =
+  let cells_arg =
+    Arg.(value & opt int 32 & info [ "cells" ] ~docv:"N" ~doc:"Heat-map resolution.")
+  in
+  let run model chip cells =
+    let model = lookup_model model in
+    let chip = lookup_chip chip in
+    let units = Unit_gen.generate model chip in
+    let v = Validity.build units in
+    print_endline (Validity.render ~cells v)
+  in
+  Cmd.v (Cmd.info "validity" ~doc:"Render the partition validity map (Fig. 5)")
+    Term.(const run $ model_arg $ chip_arg $ cells_arg)
+
+(* schedule *)
+
+let schedule_cmd =
+  let listing_arg =
+    Arg.(value & flag & info [ "listing" ] ~doc:"Dump the per-core instruction listings.")
+  in
+  let run model chip batch scheme seed quick listing =
+    let model = lookup_model model in
+    let chip = lookup_chip chip in
+    let scheme = Compiler.scheme_of_string scheme in
+    let plan =
+      Compiler.compile ~ga_params:(ga_params ~quick ~seed) ~model ~chip ~batch scheme
+    in
+    let m = Compiler.measure plan in
+    Format.printf "%s (%s): %d instructions, weights %s, activations peak %s@."
+      (Compiler.label plan)
+      (Compiler.scheme_to_string scheme)
+      m.Compiler.schedule.Scheduler.instruction_count
+      (Compass_util.Units.bytes_to_string
+         (float_of_int m.Compiler.schedule.Scheduler.weight_region_bytes))
+      (Compass_util.Units.bytes_to_string
+         (float_of_int m.Compiler.schedule.Scheduler.activation_high_water_bytes));
+    Format.printf "instruction mix: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (k, n) -> Printf.sprintf "%s x%d" k n)
+            (Compass_isa.Program.instruction_mix m.Compiler.schedule.Scheduler.programs)));
+    print_endline (Compass_isa.Timeline.render m.Compiler.sim);
+    if listing then
+      List.iter
+        (fun p ->
+          if Compass_isa.Program.length p > 0 then
+            Format.printf "%a@." Compass_isa.Program.pp p)
+        m.Compiler.schedule.Scheduler.programs
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Lower a plan to instructions, simulate, show the timeline")
+    Term.(
+      const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ seed_arg $ quick_arg
+      $ listing_arg)
+
+(* model *)
+
+let model_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual model description (.model).")
+  in
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH" ~doc:"Also write a Graphviz rendering.")
+  in
+  let run file dot =
+    match Compass_nn.Model_text.parse_file file with
+    | g -> (
+      Format.printf "%a" Compass_nn.Graph.pp_summary g;
+      Compass_util.Table.print (Compass_nn.Summary.table2 [ g ]);
+      match dot with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Compass_nn.Graph.to_dot g);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | None -> ())
+    | exception Compass_nn.Model_text.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "model" ~doc:"Parse and summarize a textual model description")
+    Term.(const run $ file_arg $ dot_arg)
+
+(* explore *)
+
+let explore_cmd =
+  let target_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "target" ] ~docv:"INF/S" ~doc:"Find the smallest chip meeting this throughput.")
+  in
+  let run model seed quick target =
+    let model = lookup_model model in
+    let chips = List.map snd Compass_arch.Config.presets in
+    let points =
+      Explore.sweep
+        ~ga_params:(ga_params ~quick ~seed)
+        ~model ~chips ~batches:[ 1; 4; 16 ] ()
+    in
+    Compass_util.Table.print (Explore.points_table points);
+    print_endline "\nPareto frontier:";
+    Compass_util.Table.print (Explore.points_table (Explore.pareto points));
+    match target with
+    | None -> ()
+    | Some throughput_per_s -> (
+      match Explore.cheapest_meeting ~throughput_per_s points with
+      | Some p ->
+        Printf.printf "\nsmallest chip meeting %.0f inf/s: %s at batch %d\n"
+          throughput_per_s p.Explore.chip.Compass_arch.Config.label p.Explore.batch
+      | None -> Printf.printf "\nno preset reaches %.0f inf/s\n" throughput_per_s)
+  in
+  Cmd.v (Cmd.info "explore" ~doc:"Sweep chips and batches; print the Pareto frontier")
+    Term.(const run $ model_arg $ seed_arg $ quick_arg $ target_arg)
+
+(* sweep *)
+
+let sweep_cmd =
+  let models_arg =
+    Arg.(
+      value
+      & opt (list string) [ "vgg16"; "resnet18"; "squeezenet" ]
+      & info [ "models" ] ~docv:"M1,M2" ~doc:"Models to sweep.")
+  in
+  let chips_arg =
+    Arg.(
+      value
+      & opt (list string) [ "S"; "M"; "L" ]
+      & info [ "chips" ] ~docv:"C1,C2" ~doc:"Chip presets to sweep.")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the rows as CSV.")
+  in
+  let run models chips batch seed quick csv =
+    let rows = ref [] in
+    List.iter
+      (fun mname ->
+        List.iter
+          (fun clabel ->
+            let model = lookup_model mname in
+            let chip = lookup_chip clabel in
+            rows :=
+              !rows
+              @ Report.compare_schemes
+                  ~ga_params:(ga_params ~quick ~seed)
+                  ~model ~chip ~batch ())
+          chips)
+      models;
+    Compass_util.Table.print (Report.rows_table !rows);
+    match csv with
+    | Some path ->
+      Report.write_csv path !rows;
+      Printf.printf "\nwrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Compare schemes across workloads (Fig. 6)")
+    Term.(const run $ models_arg $ chips_arg $ batch_arg $ seed_arg $ quick_arg $ csv_arg)
+
+let () =
+  let doc = "COMPASS: compiler for resource-constrained crossbar PIM accelerators" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "compass" ~version:"1.0.0" ~doc)
+          [
+            info_cmd; compile_cmd; validity_cmd; sweep_cmd; schedule_cmd; model_cmd;
+            explore_cmd; plan_cmd;
+          ]))

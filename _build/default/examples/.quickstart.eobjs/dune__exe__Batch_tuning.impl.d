@@ -1,0 +1,1 @@
+examples/batch_tuning.ml: Compass_arch Compass_core Compass_nn Compass_util Dataflow Estimator Ga List Partition Printf Unit_gen Validity

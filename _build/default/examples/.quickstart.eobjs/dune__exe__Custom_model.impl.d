@@ -1,0 +1,1 @@
+examples/custom_model.ml: Compass_arch Compass_core Compass_dram Compass_isa Compass_nn Compiler Format Ga List Printf String

@@ -1,0 +1,1 @@
+examples/design_space.ml: Compass_arch Compass_core Compass_nn Compass_util Config Explore Ga List Printf

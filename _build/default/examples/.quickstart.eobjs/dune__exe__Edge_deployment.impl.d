@@ -1,0 +1,1 @@
+examples/edge_deployment.ml: Compass_arch Compass_core Compass_nn Compass_util Compiler Config Crossbar Estimator Fitness Ga List Partition Printf

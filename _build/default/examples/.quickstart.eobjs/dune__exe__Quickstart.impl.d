@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compass_arch Compass_core Compass_dram Compass_isa Compass_nn Compass_util Compiler Estimator Format Ga Scheduler

@@ -1,0 +1,1 @@
+examples/serving_latency.ml: Array Compass_arch Compass_core Compass_nn Compass_util Compiler Estimator Ga List Printf

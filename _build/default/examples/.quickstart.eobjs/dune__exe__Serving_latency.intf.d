@@ -1,0 +1,1 @@
+examples/serving_latency.mli:

@@ -1,0 +1,1 @@
+examples/verify_partitioning.ml: Baselines Compass_arch Compass_core Compass_nn Compass_util Dataflow Executor Format Graph List Models Partition Partition_exec Printf Quant Tensor Unit_gen Validity

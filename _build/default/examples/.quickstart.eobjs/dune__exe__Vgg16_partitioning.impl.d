@@ -1,0 +1,1 @@
+examples/vgg16_partitioning.ml: Compass_arch Compass_core Compass_nn Compass_util Ga Printf Report Unit_gen Validity

@@ -1,0 +1,1 @@
+examples/vgg16_partitioning.mli:

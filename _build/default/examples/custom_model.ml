@@ -1,0 +1,55 @@
+(* Bringing your own network: describe a model in the textual format
+   (COMPASS's ONNX-substitute front end), parse it, and compile it for a
+   resource-constrained chip.
+
+   Run with:  dune exec examples/custom_model.exe *)
+
+open Compass_core
+
+(* A small VGG-style CIFAR classifier with a residual tail — the kind of
+   custom edge model a PIM deployment actually sees. *)
+let description =
+  {|# cifar_edge: 3x32x32 -> 10 classes
+model cifar_edge
+input in 3x32x32
+conv c1 from in out=32 kernel=3
+relu r1 from c1
+conv c2 from r1 out=32 kernel=3
+relu r2 from c2
+maxpool p1 from r2 kernel=2 stride=2
+conv c3 from p1 out=64 kernel=3
+relu r3 from c3
+conv c4 from r3 out=64 kernel=3
+add skip from c4 c3
+relu r4 from skip
+maxpool p2 from r4 kernel=2 stride=2
+flatten f from p2
+linear fc1 from f out=256
+relu r5 from fc1
+linear fc2 from r5 out=10
+|}
+
+let () =
+  let model = Compass_nn.Model_text.parse description in
+  Format.printf "%a@." Compass_nn.Graph.pp_summary model;
+  Printf.printf "round-trip check: %d bytes of description\n\n"
+    (String.length (Compass_nn.Model_text.to_string model));
+
+  (* Compile for the small chip at two batch sizes. *)
+  List.iter
+    (fun batch ->
+      let plan =
+        Compiler.compile ~ga_params:Ga.quick_params ~model
+          ~chip:Compass_arch.Config.chip_s ~batch Compiler.Compass
+      in
+      Format.printf "%a@." Compiler.pp_plan plan)
+    [ 1; 16 ];
+
+  (* And show the instruction-level execution of the batch-16 plan. *)
+  let plan =
+    Compiler.compile ~ga_params:Ga.quick_params ~model
+      ~chip:Compass_arch.Config.chip_s ~batch:16 Compiler.Compass
+  in
+  let m = Compiler.measure plan in
+  print_endline (Compass_isa.Timeline.render ~width:70 m.Compiler.sim);
+  Format.printf "@.%a@." Compass_dram.Dram.pp_stats m.Compiler.dram

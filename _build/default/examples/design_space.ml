@@ -1,0 +1,48 @@
+(* Design-space exploration: which chip/batch configuration serves a
+   ResNet18 deployment best?  The paper evaluates three fixed chips; a fast
+   compiler also answers the inverse question — sweep candidate chips and
+   batch sizes, compile each with COMPASS, and read the Pareto frontier.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+open Compass_core
+open Compass_arch
+
+let () =
+  let model = Compass_nn.Models.resnet18 () in
+  (* The paper's presets plus two hypothetical in-between chips. *)
+  let chips =
+    [
+      Config.chip_s;
+      Config.custom ~label:"S+" ~cores:16 ~macros_per_core:12 ();
+      Config.chip_m;
+      Config.custom ~label:"M+" ~cores:16 ~macros_per_core:24 ();
+      Config.chip_l;
+    ]
+  in
+  let batches = [ 4; 16 ] in
+  Printf.printf "sweeping %d configurations (COMPASS, quick GA)...\n\n"
+    (List.length chips * List.length batches);
+  let points =
+    Explore.sweep ~ga_params:Ga.quick_params ~model ~chips ~batches ()
+  in
+  Compass_util.Table.print (Explore.points_table points);
+
+  print_newline ();
+  print_endline "Pareto frontier (max throughput, min energy/inference):";
+  let frontier = Explore.pareto points in
+  Compass_util.Table.print (Explore.points_table frontier);
+
+  print_newline ();
+  let target = 2000. in
+  (match Explore.cheapest_meeting ~throughput_per_s:target points with
+  | Some p ->
+    Printf.printf
+      "smallest chip sustaining %.0f inf/s: %s (%.3f MB on-chip) at batch %d\n" target
+      p.Explore.chip.Config.label p.Explore.capacity_mb p.Explore.batch
+  | None -> Printf.printf "no configuration reaches %.0f inf/s\n" target);
+  print_newline ();
+  print_endline
+    "Larger chips trade energy (higher static power) for throughput (more\n\
+     replication headroom and fewer weight-replacement rounds); the frontier\n\
+     makes the capacity/batch sweet spots explicit."

@@ -1,0 +1,32 @@
+(* Quickstart: compile a small CNN for the smallest chip preset, inspect the
+   plan, then lower it to instructions and simulate one batch.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Compass_core
+
+let () =
+  (* 1. Pick a model and a hardware configuration. *)
+  let model = Compass_nn.Models.lenet5 () in
+  let chip = Compass_arch.Config.chip_s in
+  Format.printf "%a@." Compass_arch.Config.pp_chip chip;
+  Format.printf "%a@." Compass_nn.Graph.pp_summary model;
+
+  (* 2. Compile: decomposition -> validity map -> GA partition search. *)
+  let plan =
+    Compiler.compile ~ga_params:Ga.quick_params ~model ~chip ~batch:8 Compiler.Compass
+  in
+  Format.printf "@.%a@." Compiler.pp_plan plan;
+
+  (* 3. Lower to per-core instruction programs and simulate. *)
+  let m = Compiler.measure plan in
+  Format.printf "schedule: %d instructions, %s of weights in DRAM@."
+    m.Compiler.schedule.Scheduler.instruction_count
+    (Compass_util.Units.bytes_to_string
+       (float_of_int m.Compiler.schedule.Scheduler.weight_region_bytes));
+  Format.printf "simulated makespan: %s (estimator said %s)@."
+    (Compass_util.Units.time_to_string m.Compiler.sim.Compass_isa.Sim.makespan_s)
+    (Compass_util.Units.time_to_string plan.Compiler.perf.Estimator.batch_latency_s);
+
+  (* 4. Replay the DRAM trace through the LPDDR3 model. *)
+  Format.printf "%a@." Compass_dram.Dram.pp_stats m.Compiler.dram

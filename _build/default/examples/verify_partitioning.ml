@@ -1,0 +1,62 @@
+(* Functional verification of partitioned execution (paper Fig. 2).
+
+   COMPASS claims its partition-and-replace execution computes the same
+   network, just in chip-sized pieces.  This example proves it on real
+   numbers: quantize a LeNet-5 to 4-bit weights, partition it for a chip so
+   small it needs several weight-replacement rounds, execute it partition
+   by partition through the reference tensor engine, and compare against
+   whole-model execution.
+
+   Run with:  dune exec examples/verify_partitioning.exe *)
+
+open Compass_core
+open Compass_nn
+
+let () =
+  let model = Models.lenet5 () in
+  (* A deliberately tiny chip: 2 cores x 2 macros = 32 KB of weights. *)
+  let chip = Compass_arch.Config.custom ~label:"nano" ~cores:2 ~macros_per_core:2 () in
+  Printf.printf "model needs %s; chip holds %s -> replacement required\n\n"
+    (Compass_util.Units.bytes_to_string (Graph.weight_bytes ~weight_bits:4 model))
+    (Compass_util.Units.bytes_to_string (Compass_arch.Config.capacity_bytes chip));
+
+  let units = Unit_gen.generate model chip in
+  let validity = Validity.build units in
+  let ctx = Dataflow.context units in
+
+  (* 4-bit deployment weights and a random input sample. *)
+  let float_weights = Executor.random_weights model in
+  let weights = Quant.quantize_weights ~bits:4 float_weights in
+  let input = Executor.random_input model in
+  let reference = Executor.output model weights input in
+  Format.printf "reference output: %a@." Tensor.pp_stats reference;
+
+  (* Partition with each scheme and execute partition-by-partition. *)
+  let rng = Compass_util.Rng.create 42 in
+  let candidates =
+    [
+      ("greedy", Baselines.greedy validity);
+      ("layerwise", Baselines.layerwise validity);
+      ("random", Validity.random_group rng validity);
+    ]
+  in
+  List.iter
+    (fun (name, group) ->
+      let r = Partition_exec.run ctx group weights input in
+      let diff = Tensor.max_abs_diff reference r.Partition_exec.output in
+      Printf.printf
+        "%-9s: %d partitions, %d global-memory transfers, peak %d live tensors, max |diff| = %g\n"
+        name
+        (Partition.partition_count group)
+        (List.length r.Partition_exec.traffic)
+        r.Partition_exec.peak_live_tensors diff;
+      assert (diff = 0.))
+    candidates;
+
+  print_newline ();
+  Printf.printf "quantization cost vs float weights: max |diff| = %g\n"
+    (Tensor.max_abs_diff reference (Executor.output model float_weights input));
+  print_endline
+    "\nEvery partitioning computes the exact same function — the compiler's\n\
+     transformation is semantics-preserving, only the weight-replacement\n\
+     schedule (and hence latency/energy) changes."

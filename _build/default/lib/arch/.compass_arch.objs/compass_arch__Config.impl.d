@@ -1,0 +1,1 @@
+lib/arch/config.ml: Compass_util Crossbar Format Interconnect List Printf String Table Units

@@ -1,0 +1,1 @@
+lib/arch/crossbar.ml: Compass_util Format

@@ -1,0 +1,1 @@
+lib/arch/crossbar.mli: Format

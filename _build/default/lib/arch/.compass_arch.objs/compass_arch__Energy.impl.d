@@ -1,0 +1,1 @@
+lib/arch/energy.ml: Compass_util Config Crossbar Format Interconnect List

@@ -1,0 +1,1 @@
+lib/arch/technology.ml: Config Crossbar List String

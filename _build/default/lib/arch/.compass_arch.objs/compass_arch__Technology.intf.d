@@ -1,0 +1,1 @@
+lib/arch/technology.mli: Config Crossbar

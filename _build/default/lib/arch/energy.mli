@@ -1,0 +1,31 @@
+(** Chip-level energy accounting used by the performance estimator.
+
+    All functions take aggregate operation counts and return joules; the
+    DRAM term here is the analytic streaming approximation — the
+    trace-accurate number comes from [Compass_dram] when a schedule is
+    simulated. *)
+
+val mvm_j : Config.chip -> macro_ops:float -> float
+(** Energy of [macro_ops] full-array crossbar MVM operations. *)
+
+val weight_write_j : Config.chip -> bytes:float -> float
+(** Cell-programming energy for [bytes] of weights (excludes the DRAM read
+    and bus transfer, accounted separately). *)
+
+val vfu_j : Config.chip -> ops:float -> float
+(** Energy of [ops] vector element operations. *)
+
+val bus_j : Config.chip -> bytes:float -> float
+(** On-chip bus transfer energy. *)
+
+val dram_j : Config.chip -> bytes:float -> float
+(** Analytic external-memory access energy. *)
+
+val static_j : Config.chip -> seconds:float -> float
+(** Background energy of the whole chip over a duration. *)
+
+val pp_breakdown :
+  Format.formatter ->
+  (string * float) list ->
+  unit
+(** Render labelled energy components with percentages of their sum. *)

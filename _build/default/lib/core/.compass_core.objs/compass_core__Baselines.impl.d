@@ -1,0 +1,1 @@
+lib/core/baselines.ml: List Partition Unit_gen Validity

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Baselines Compass_arch Compass_dram Compass_isa Compass_nn Dataflow Estimator Fitness Format Ga Mapping Partition Printf Scheduler String Unit_gen Validity

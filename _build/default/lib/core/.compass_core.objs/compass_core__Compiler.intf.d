@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Compass_arch Compass_dram Compass_isa Compass_nn Dataflow Estimator Fitness Format Ga Partition Scheduler Unit_gen Validity

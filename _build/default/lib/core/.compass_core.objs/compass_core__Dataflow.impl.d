@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Compass_arch Compass_nn Graph Hashtbl Layer List Option Partition Shape Unit_gen

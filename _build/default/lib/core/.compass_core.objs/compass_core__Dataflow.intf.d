@@ -1,0 +1,1 @@
+lib/core/dataflow.mli: Compass_nn Partition Unit_gen

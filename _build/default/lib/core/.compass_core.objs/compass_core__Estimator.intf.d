@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Compass_nn Dataflow Format Hashtbl Partition Replication

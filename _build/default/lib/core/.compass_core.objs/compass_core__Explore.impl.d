@@ -1,0 +1,1 @@
+lib/core/explore.ml: Compass_arch Compass_util Compiler Estimator List Printf Table Units

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Compass_arch Compass_nn Compass_util Compiler Fitness Ga

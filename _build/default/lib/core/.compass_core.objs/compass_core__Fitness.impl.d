@@ -1,0 +1,1 @@
+lib/core/fitness.ml: Array Estimator List String

@@ -1,0 +1,1 @@
+lib/core/fitness.mli: Estimator

@@ -1,0 +1,1 @@
+lib/core/ga.ml: Array Compass_util Estimator Fitness Hashtbl List Partition Rng Validity

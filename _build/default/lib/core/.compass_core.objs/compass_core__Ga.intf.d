@@ -1,0 +1,1 @@
+lib/core/ga.mli: Dataflow Estimator Fitness Partition Validity

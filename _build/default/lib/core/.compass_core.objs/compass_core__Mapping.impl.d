@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Compass_arch Config Format List Printf Unit_gen

@@ -1,0 +1,1 @@
+lib/core/memory_alloc.ml: List Printf

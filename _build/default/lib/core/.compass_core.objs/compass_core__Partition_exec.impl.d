@@ -1,0 +1,1 @@
+lib/core/partition_exec.ml: Array Compass_nn Dataflow Executor Graph Hashtbl List Option Partition Printf Tensor Unit_gen

@@ -1,0 +1,1 @@
+lib/core/partition_exec.mli: Compass_nn Dataflow Partition

@@ -1,0 +1,1 @@
+lib/core/perf_model.ml: Array Compass_arch Compass_nn Config Crossbar Dataflow Graph Layer List Unit_gen

@@ -1,0 +1,1 @@
+lib/core/perf_model.mli: Compass_nn Dataflow

@@ -1,0 +1,1 @@
+lib/core/pipeline_sim.ml: Array Compass_nn Dataflow Estimator Graph Hashtbl Layer List Perf_model Replication Unit_gen

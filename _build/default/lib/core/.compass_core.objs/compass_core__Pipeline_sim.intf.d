@@ -1,0 +1,1 @@
+lib/core/pipeline_sim.mli: Compass_nn Dataflow

@@ -1,0 +1,1 @@
+lib/core/plan_text.ml: Array Buffer Compass_arch Compass_nn Compiler Dataflow Estimator Fitness Hashtbl List Option Partition Printf String Unit_gen Validity

@@ -1,0 +1,1 @@
+lib/core/plan_text.mli: Compiler

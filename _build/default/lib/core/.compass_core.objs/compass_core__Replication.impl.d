@@ -1,0 +1,1 @@
+lib/core/replication.ml: Array Compass_arch Compass_nn Config Dataflow Format List Mapping Option Perf_model Unit_gen

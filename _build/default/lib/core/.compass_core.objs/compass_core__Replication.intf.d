@@ -1,0 +1,1 @@
+lib/core/replication.mli: Compass_nn Dataflow Format Unit_gen

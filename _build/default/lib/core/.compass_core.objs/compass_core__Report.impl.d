@@ -1,0 +1,1 @@
+lib/core/report.ml: Compass_nn Compass_util Compiler Estimator List Partition Printf Replication String Table Units

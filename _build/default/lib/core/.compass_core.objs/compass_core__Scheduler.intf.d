@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Compass_dram Compass_isa Dataflow Partition

@@ -1,0 +1,1 @@
+lib/core/unit_gen.ml: Array Compass_arch Compass_nn Config Crossbar Format Graph Layer List

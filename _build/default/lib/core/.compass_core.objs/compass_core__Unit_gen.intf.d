@@ -1,0 +1,1 @@
+lib/core/unit_gen.mli: Compass_arch Compass_nn Format

@@ -1,0 +1,1 @@
+lib/core/validity.ml: Array Compass_arch Compass_nn Compass_util List Mapping Partition Printf Unit_gen

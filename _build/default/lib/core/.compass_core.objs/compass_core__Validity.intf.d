@@ -1,0 +1,1 @@
+lib/core/validity.mli: Compass_util Partition Unit_gen

@@ -1,0 +1,1 @@
+lib/core/weight_layout.ml: Array Compass_arch Compass_nn Config Crossbar Dataflow Graph Hashtbl Layer List Mapping Option Partition Printf Quant Replication Unit_gen

@@ -1,0 +1,1 @@
+lib/core/weight_layout.mli: Compass_nn Dataflow Partition

@@ -1,0 +1,95 @@
+type scheme =
+  | Compass
+  | Greedy
+  | Layerwise
+
+let scheme_of_string s =
+  match String.lowercase_ascii s with
+  | "compass" | "ga" -> Compass
+  | "greedy" -> Greedy
+  | "layerwise" -> Layerwise
+  | other -> invalid_arg ("Compiler.scheme_of_string: " ^ other)
+
+let scheme_to_string = function
+  | Compass -> "compass"
+  | Greedy -> "greedy"
+  | Layerwise -> "layerwise"
+
+type t = {
+  model : Compass_nn.Graph.t;
+  chip : Compass_arch.Config.chip;
+  batch : int;
+  scheme : scheme;
+  objective : Fitness.objective;
+  units : Unit_gen.t;
+  ctx : Dataflow.ctx;
+  validity : Validity.t;
+  group : Partition.t;
+  perf : Estimator.perf;
+  ga : Ga.result option;
+}
+
+let compile ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params) ~model ~chip
+    ~batch scheme =
+  if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
+  let units = Unit_gen.generate model chip in
+  let validity = Validity.build units in
+  let ctx = Dataflow.context units in
+  let group, ga =
+    match scheme with
+    | Greedy -> (Baselines.greedy validity, None)
+    | Layerwise -> (Baselines.layerwise validity, None)
+    | Compass ->
+      let result = Ga.optimize ~params:ga_params ~objective ctx validity ~batch in
+      (result.Ga.best.Ga.group, Some result)
+  in
+  let perf = Estimator.evaluate ctx ~batch group in
+  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga }
+
+type measurement = {
+  schedule : Scheduler.t;
+  sim : Compass_isa.Sim.result;
+  dram : Compass_dram.Controller.stats;
+}
+
+let schedule ?chunks t = Scheduler.build t.ctx t.group ~batch:t.batch ?chunks ()
+
+let measure ?chunks t =
+  let sched = schedule ?chunks t in
+  let sim = Scheduler.simulate t.ctx sched in
+  let dram = Scheduler.dram_stats t.ctx sim in
+  { schedule = sched; sim; dram }
+
+type on_chip_report = {
+  on_chip_perf : Estimator.perf;
+  on_chip_group : Partition.t;
+}
+
+let compile_on_chip ~model ~chip ~batch =
+  if batch < 1 then invalid_arg "Compiler.compile_on_chip: batch < 1";
+  let units = Unit_gen.generate model chip in
+  let m = Unit_gen.unit_count units in
+  match Mapping.pack units ~start_:0 ~stop:m ~replication:(fun _ -> 1) with
+  | Error msg -> Error ("model does not fit on chip: " ^ msg)
+  | Ok _ ->
+    let ctx = Dataflow.context units in
+    let group = Partition.singleton m in
+    let options = { Estimator.default_options with Estimator.charge_writes = false } in
+    Ok { on_chip_perf = Estimator.evaluate ~options ctx ~batch group; on_chip_group = group }
+
+let supported_by_prior_compilers model chip =
+  let weight_bits = chip.Compass_arch.Config.crossbar.Compass_arch.Crossbar.weight_bits in
+  Compass_nn.Graph.weight_bytes ~weight_bits model
+  <= Compass_arch.Config.capacity_bytes chip
+
+let label t =
+  Printf.sprintf "%s-%s-%d" (Compass_nn.Graph.name t.model)
+    t.chip.Compass_arch.Config.label t.batch
+
+let pp_plan ppf t =
+  Format.fprintf ppf "%s / %s / objective=%s: %d units -> %d partitions@." (label t)
+    (scheme_to_string t.scheme)
+    (Fitness.objective_to_string t.objective)
+    (Unit_gen.unit_count t.units)
+    (Partition.partition_count t.group);
+  Estimator.pp_breakdown t.model ppf t.perf

@@ -1,0 +1,80 @@
+(** Top-level COMPASS compiler driver (paper Fig. 3).
+
+    [compile] runs the full flow — unit decomposition, validity map,
+    partition search (GA or a baseline scheme), replication, mapping,
+    estimation — and returns a plan; [schedule] lowers the plan to per-core
+    instruction programs; [measure] executes them on the chip simulator and
+    replays the DRAM trace through the LPDDR3 model. *)
+
+type scheme =
+  | Compass  (** GA-optimized partitioning (Algorithm 1). *)
+  | Greedy
+  | Layerwise
+
+val scheme_of_string : string -> scheme
+(** Case-insensitive.  Raises [Invalid_argument] on unknown names. *)
+
+val scheme_to_string : scheme -> string
+
+type t = {
+  model : Compass_nn.Graph.t;
+  chip : Compass_arch.Config.chip;
+  batch : int;
+  scheme : scheme;
+  objective : Fitness.objective;
+  units : Unit_gen.t;
+  ctx : Dataflow.ctx;
+  validity : Validity.t;
+  group : Partition.t;
+  perf : Estimator.perf;
+  ga : Ga.result option;  (** Present for the [Compass] scheme. *)
+}
+
+val compile :
+  ?objective:Fitness.objective ->
+  ?ga_params:Ga.params ->
+  model:Compass_nn.Graph.t ->
+  chip:Compass_arch.Config.chip ->
+  batch:int ->
+  scheme ->
+  t
+(** Raises [Invalid_argument] for models without weighted layers or
+    non-positive batch sizes. *)
+
+type measurement = {
+  schedule : Scheduler.t;
+  sim : Compass_isa.Sim.result;
+  dram : Compass_dram.Controller.stats;
+}
+
+val schedule : ?chunks:int -> t -> Scheduler.t
+
+val measure : ?chunks:int -> t -> measurement
+(** Lower, simulate and replay the DRAM trace. *)
+
+type on_chip_report = {
+  on_chip_perf : Estimator.perf;
+      (** Steady-state single-partition execution with weights pinned: no
+          replacement phases at all (the PUMA/PIMCOMP execution model). *)
+  on_chip_group : Partition.t;
+}
+
+val compile_on_chip :
+  model:Compass_nn.Graph.t ->
+  chip:Compass_arch.Config.chip ->
+  batch:int ->
+  (on_chip_report, string) result
+(** The prior-compiler baseline: map everything at once or fail.  [Error]
+    explains why (capacity or placement), reproducing Table II's "Prev."
+    column as executable behaviour. *)
+
+val supported_by_prior_compilers : Compass_nn.Graph.t -> Compass_arch.Config.chip -> bool
+(** Whether an all-weights-on-chip compiler (PUMA / PIMCOMP) can map the
+    model: total weight bytes within the chip capacity (Table II's "Prev."
+    column). *)
+
+val label : t -> string
+(** "network-chip-batch" in the paper's naming, e.g. ["resnet18-S-16"]. *)
+
+val pp_plan : Format.formatter -> t -> unit
+(** Partition list with layers, replication and the estimated breakdown. *)

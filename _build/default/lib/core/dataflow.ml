@@ -1,0 +1,194 @@
+open Compass_nn
+
+type partition_io = {
+  start_ : int;
+  stop : int;
+  weighted_layers : Graph.node list;
+  attached : Graph.node list;
+  loads : (Graph.node * float) list;
+  stores : (Graph.node * float) list;
+  load_bytes : float;
+  store_bytes : float;
+}
+
+type ctx = {
+  units_ : Unit_gen.t;
+  unit_lo : int array; (* per node; -1 for unweighted *)
+  unit_hi : int array; (* inclusive; -1 for unweighted *)
+  anchor : int array; (* home_unit per node *)
+  frac_prefix : float array; (* per unit: prefix sum of column fractions *)
+  tensor_bytes : float array;
+  topo : Graph.node list;
+}
+
+let units ctx = ctx.units_
+
+let context (units_ : Unit_gen.t) =
+  let model = units_.Unit_gen.model in
+  let nnodes = Graph.node_count model in
+  let m = Unit_gen.unit_count units_ in
+  let unit_lo = Array.make nnodes (-1) in
+  let unit_hi = Array.make nnodes (-1) in
+  List.iter
+    (fun (node, idxs) ->
+      match idxs with
+      | [] -> ()
+      | first :: _ ->
+        unit_lo.(node) <- first;
+        unit_hi.(node) <- List.fold_left max first idxs)
+    units_.Unit_gen.layer_units;
+  (* Fraction of its layer's output each unit carries, as a prefix sum so a
+     span's coverage of a layer is an O(1) lookup. *)
+  let frac = Array.make m 0. in
+  Array.iter
+    (fun u ->
+      let node = u.Unit_gen.index in
+      let layer = u.Unit_gen.layer in
+      let base = Unit_gen.col_fraction u model in
+      let f =
+        if u.Unit_gen.partial_sum then
+          let rows = Layer.weight_rows (Graph.layer model layer).Layer.op in
+          base
+          *. float_of_int (u.Unit_gen.row_hi - u.Unit_gen.row_lo)
+          /. float_of_int rows
+        else base
+      in
+      frac.(node) <- f)
+    units_.Unit_gen.units;
+  let frac_prefix = Array.make (m + 1) 0. in
+  for i = 0 to m - 1 do
+    frac_prefix.(i + 1) <- frac_prefix.(i) +. frac.(i)
+  done;
+  let topo = Graph.topo_order model in
+  let anchor = Array.make nnodes (-1) in
+  List.iter
+    (fun node ->
+      if unit_hi.(node) >= 0 then anchor.(node) <- unit_hi.(node)
+      else
+        anchor.(node) <-
+          List.fold_left (fun acc p -> max acc anchor.(p)) (-1) (Graph.preds model node))
+    topo;
+  let activation_bits =
+    units_.Unit_gen.chip.Compass_arch.Config.crossbar.Compass_arch.Crossbar.activation_bits
+  in
+  let tensor_bytes =
+    Array.init nnodes (fun node -> Shape.bytes ~activation_bits (Graph.shape_of model node))
+  in
+  { units_; unit_lo; unit_hi; anchor; frac_prefix; tensor_bytes; topo }
+
+let home_unit ctx node =
+  if node < 0 || node >= Array.length ctx.anchor then invalid_arg "Dataflow.home_unit";
+  ctx.anchor.(node)
+
+let in_span ~start_ ~stop i = i >= start_ && i < stop
+
+(* Does a node execute (have units or be attached) inside the span? *)
+let touches ctx ~start_ ~stop node =
+  if ctx.unit_lo.(node) >= 0 then
+    max ctx.unit_lo.(node) start_ <= min ctx.unit_hi.(node) (stop - 1)
+  else in_span ~start_ ~stop ctx.anchor.(node)
+
+let layer_fraction_in ctx node ~start_ ~stop =
+  if node < 0 || node >= Array.length ctx.anchor then
+    invalid_arg "Dataflow.layer_fraction_in";
+  if ctx.unit_lo.(node) < 0 then
+    if in_span ~start_ ~stop ctx.anchor.(node) then 1. else 0.
+  else
+    let lo = max ctx.unit_lo.(node) start_ in
+    let hi = min (ctx.unit_hi.(node) + 1) stop in
+    if hi <= lo then 0. else ctx.frac_prefix.(hi) -. ctx.frac_prefix.(lo)
+
+let span_io ctx ~start_ ~stop =
+  let m = Unit_gen.unit_count ctx.units_ in
+  if start_ < 0 || stop > m || start_ >= stop then invalid_arg "Dataflow.span_io";
+  let model = ctx.units_.Unit_gen.model in
+  let weighted = ref [] in
+  let attached = ref [] in
+  let loads : (Graph.node, float) Hashtbl.t = Hashtbl.create 8 in
+  let stores : (Graph.node, float) Hashtbl.t = Hashtbl.create 8 in
+  let add tbl node bytes =
+    Hashtbl.replace tbl node (max bytes (Option.value ~default:0. (Hashtbl.find_opt tbl node)))
+  in
+  let visit node =
+    if touches ctx ~start_ ~stop node then begin
+      let layer = Graph.layer model node in
+      let is_weighted = Layer.is_weighted layer.Layer.op in
+      (if is_weighted then weighted := node :: !weighted
+       else
+         match layer.Layer.op with
+         | Layer.Input _ -> ()
+         | _ -> attached := node :: !attached);
+      (* Entry endpoints: fraction of each producer missing from the span. *)
+      let need u =
+        let missing = 1. -. layer_fraction_in ctx u ~start_ ~stop in
+        if missing > 1e-9 then add loads u (ctx.tensor_bytes.(u) *. missing)
+      in
+      List.iter need (Graph.preds model node);
+      (* Exit endpoints: this node's local fraction consumed outside. *)
+      let local = layer_fraction_in ctx node ~start_ ~stop in
+      if local > 1e-9 then begin
+        let consumed_outside =
+          List.exists
+            (fun v -> layer_fraction_in ctx v ~start_ ~stop < 1. -. 1e-9)
+            (Graph.succs model node)
+        in
+        let is_exit = Graph.succs model node = [] in
+        if consumed_outside || is_exit then
+          add stores node (ctx.tensor_bytes.(node) *. local)
+      end
+    end
+  in
+  List.iter visit ctx.topo;
+  let to_list tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  let load_list = to_list loads in
+  let store_list = to_list stores in
+  {
+    start_;
+    stop;
+    weighted_layers = List.rev !weighted;
+    attached = List.rev !attached;
+    loads = load_list;
+    stores = store_list;
+    load_bytes = List.fold_left (fun acc (_, b) -> acc +. b) 0. load_list;
+    store_bytes = List.fold_left (fun acc (_, b) -> acc +. b) 0. store_list;
+  }
+
+let group_io ctx group =
+  if Partition.total_units group <> Unit_gen.unit_count ctx.units_ then
+    invalid_arg "Dataflow.group_io: group does not cover the decomposition";
+  Array.of_list
+    (List.map
+       (fun (s : Partition.span) ->
+         span_io ctx ~start_:s.Partition.start_ ~stop:s.Partition.stop)
+       (Partition.spans group))
+
+let tensor_bytes ctx node =
+  if node < 0 || node >= Array.length ctx.tensor_bytes then
+    invalid_arg "Dataflow.tensor_bytes";
+  ctx.tensor_bytes.(node)
+
+let is_model_input ctx node =
+  match (Graph.layer ctx.units_.Unit_gen.model node).Layer.op with
+  | Layer.Input _ -> true
+  | _ -> false
+
+let is_model_output ctx node = Graph.succs ctx.units_.Unit_gen.model node = []
+
+let onchip_buffer_bytes ctx =
+  let chip = ctx.units_.Unit_gen.chip in
+  0.5
+  *. float_of_int
+       (chip.Compass_arch.Config.cores
+       * chip.Compass_arch.Config.core.Compass_arch.Config.local_mem_banks
+       * chip.Compass_arch.Config.core.Compass_arch.Config.local_mem_bytes)
+
+let spills_to_dram ctx ~batch node =
+  if batch < 1 then invalid_arg "Dataflow.spills_to_dram: batch < 1";
+  is_model_input ctx node || is_model_output ctx node
+  || float_of_int batch *. tensor_bytes ctx node > onchip_buffer_bytes ctx
+
+let total_load_bytes ios = Array.fold_left (fun acc io -> acc +. io.load_bytes) 0. ios
+let total_store_bytes ios = Array.fold_left (fun acc io -> acc +. io.store_bytes) 0. ios
+
+let entry_exit_counts ios =
+  Array.to_list (Array.map (fun io -> (List.length io.loads, List.length io.stores)) ios)

@@ -1,0 +1,281 @@
+open Compass_arch
+
+type span_perf = {
+  start_ : int;
+  stop : int;
+  io : Dataflow.partition_io;
+  replication : Replication.t;
+  cores_used : int;
+  utilization : float;
+  stage_times : (Compass_nn.Graph.node * float) list;
+  bottleneck_s : float;
+  fill_s : float;
+  compute_s : float;
+  unique_weight_bytes : float;
+  programmed_bytes : float;
+  write_s : float;
+  io_load_bytes : float;
+  io_store_bytes : float;
+  io_dram_bytes : float;
+  io_s : float;
+  span_s : float;
+  mvm_energy_j : float;
+  vfu_energy_j : float;
+  write_energy_j : float;
+  bus_energy_j : float;
+  dram_energy_j : float;
+}
+
+type model_options = {
+  write_overlap : bool;
+  onchip_buffering : bool;
+  charge_writes : bool;
+}
+
+let default_options = { write_overlap = true; onchip_buffering = true; charge_writes = true }
+
+type perf = {
+  batch : int;
+  spans : span_perf list;
+  batch_latency_s : float;
+  throughput_per_s : float;
+  energy_j : float;
+  energy_per_sample_j : float;
+  edp_j_s : float;
+  energy_components : (string * float) list;
+}
+
+let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
+  if batch < 1 then invalid_arg "Estimator.span_perf: batch < 1";
+  let units = Dataflow.units ctx in
+  let chip = units.Unit_gen.chip in
+  let io = Dataflow.span_io ctx ~start_ ~stop in
+  let layers = Perf_model.span_layers ctx ~start_ ~stop in
+  let replication = Replication.allocate ctx ~batch ~start_ ~stop in
+  let mapping =
+    match
+      Mapping.pack units ~start_ ~stop
+        ~replication:(Replication.unit_replication replication units)
+    with
+    | Ok m -> m
+    | Error msg -> invalid_arg ("Estimator.span_perf: infeasible span: " ^ msg)
+  in
+  let fbatch = float_of_int batch in
+  (* Compute phase. *)
+  let stage_times =
+    List.map
+      (fun (p : Perf_model.layer_perf) ->
+        let r = Replication.replication_of replication p.Perf_model.node in
+        (p.Perf_model.node, Perf_model.stage_time_s p ~replication:r))
+      layers
+  in
+  let cores_used = Mapping.cores_used mapping in
+  let attached_ops = Perf_model.attached_vfu_ops ctx io in
+  let lanes =
+    float_of_int (max 1 cores_used * chip.Config.core.Config.vfus_per_core)
+  in
+  let attached_stage_s =
+    float_of_int attached_ops /. lanes /. chip.Config.core.Config.clock_hz
+  in
+  let bottleneck_s =
+    List.fold_left (fun acc (_, s) -> max acc s) attached_stage_s stage_times
+  in
+  let fill_s =
+    List.fold_left (fun acc (p : Perf_model.layer_perf) -> acc +. p.Perf_model.op_time_s) 0. layers
+  in
+  let compute_s = fill_s +. (fbatch *. bottleneck_s) in
+  (* Weight replacement phase. *)
+  let unique_weight_bytes = Unit_gen.span_weight_bytes units start_ stop in
+  let programmed_bytes =
+    List.fold_left
+      (fun acc (p : Perf_model.layer_perf) ->
+        let r = Replication.replication_of replication p.Perf_model.node in
+        acc +. (float_of_int r *. p.Perf_model.weight_bytes_in_span))
+      0. layers
+  in
+  let xbar = chip.Config.crossbar in
+  let program_parallel_s =
+    (* Cores program their macros serially; cores in parallel. *)
+    let worst = Array.fold_left max 0 mapping.Mapping.tiles_used in
+    float_of_int worst *. Crossbar.write_latency_s xbar
+  in
+  let dram_fetch_s = Compass_dram.Dram.analytic_seconds unique_weight_bytes in
+  let bus_fetch_s =
+    Interconnect.transfer_time_s chip.Config.bus ~bytes:unique_weight_bytes
+  in
+  let write_s =
+    if options.charge_writes then max (max dram_fetch_s bus_fetch_s) program_parallel_s
+    else 0.
+  in
+  (* IO phase (per batch).  Inter-partition tensors live in the cores'
+     local memories when a batch of them fits; model inputs/outputs and
+     oversized tensors stream through DRAM. *)
+  let io_load_bytes = fbatch *. io.Dataflow.load_bytes in
+  let io_store_bytes = fbatch *. io.Dataflow.store_bytes in
+  let io_bytes = io_load_bytes +. io_store_bytes in
+  let goes_to_dram node =
+    (not options.onchip_buffering) || Dataflow.spills_to_dram ctx ~batch node
+  in
+  let dram_endpoint_bytes endpoints =
+    List.fold_left
+      (fun (n, bytes) (node, b) ->
+        if goes_to_dram node then (n + 1, bytes +. (fbatch *. b)) else (n, bytes))
+      (0, 0.) endpoints
+  in
+  let n_dram_loads, dram_load_bytes = dram_endpoint_bytes io.Dataflow.loads in
+  let n_dram_stores, dram_store_bytes = dram_endpoint_bytes io.Dataflow.stores in
+  let io_dram_bytes = dram_load_bytes +. dram_store_bytes in
+  let io_s =
+    if io_bytes <= 0. then 0.
+    else
+      let stream =
+        max
+          (Interconnect.transfer_time_s chip.Config.bus ~bytes:io_bytes)
+          (Compass_dram.Dram.analytic_seconds io_dram_bytes)
+      in
+      stream
+      +. (fbatch
+         *. float_of_int (n_dram_loads + n_dram_stores)
+         *. chip.Config.dram.Config.request_overhead_s)
+  in
+  let span_s = write_s +. max compute_s io_s in
+  (* Energy. *)
+  let macro_ops =
+    fbatch
+    *. List.fold_left
+         (fun acc (p : Perf_model.layer_perf) ->
+           acc +. float_of_int (p.Perf_model.mvms * p.Perf_model.macro_ops_per_mvm))
+         0. layers
+  in
+  let vfu_ops =
+    fbatch
+    *. (float_of_int attached_ops
+       +. List.fold_left
+            (fun acc (p : Perf_model.layer_perf) ->
+              acc +. float_of_int (p.Perf_model.mvms * p.Perf_model.vfu_ops_per_mvm))
+            0. layers)
+  in
+  let dram_bytes = unique_weight_bytes +. io_dram_bytes in
+  let bus_bytes = unique_weight_bytes +. io_bytes in
+  {
+    start_;
+    stop;
+    io;
+    replication;
+    cores_used;
+    utilization = Mapping.utilization mapping;
+    stage_times;
+    bottleneck_s;
+    fill_s;
+    compute_s;
+    unique_weight_bytes;
+    programmed_bytes;
+    write_s;
+    io_load_bytes;
+    io_store_bytes;
+    io_dram_bytes;
+    io_s;
+    span_s;
+    mvm_energy_j = Energy.mvm_j chip ~macro_ops;
+    vfu_energy_j = Energy.vfu_j chip ~ops:vfu_ops;
+    write_energy_j = Energy.weight_write_j chip ~bytes:programmed_bytes;
+    bus_energy_j = Energy.bus_j chip ~bytes:bus_bytes;
+    dram_energy_j = Compass_dram.Dram.analytic_energy_j dram_bytes;
+  }
+
+let combine ?(options = default_options) ctx ~batch spans =
+  let chip = (Dataflow.units ctx).Unit_gen.chip in
+  (* Inter-partition overlap: the next write hides under this partition's
+     DRAM-idle compute time. *)
+  let rec latency acc prev = function
+    | [] -> acc
+    | sp :: rest ->
+      let exposed_write =
+        match prev with
+        | None -> sp.write_s
+        | Some p when options.write_overlap ->
+          let idle = max 0. (max p.compute_s p.io_s -. p.io_s) in
+          max 0. (sp.write_s -. idle)
+        | Some _ -> sp.write_s
+      in
+      latency (acc +. exposed_write +. max sp.compute_s sp.io_s) (Some sp) rest
+  in
+  let batch_latency_s = latency 0. None spans in
+  let sum f = List.fold_left (fun acc sp -> acc +. f sp) 0. spans in
+  let static_j = Energy.static_j chip ~seconds:batch_latency_s in
+  let components =
+    [
+      ("mvm", sum (fun sp -> sp.mvm_energy_j));
+      ("vfu", sum (fun sp -> sp.vfu_energy_j));
+      ("weight_write", sum (fun sp -> sp.write_energy_j));
+      ("bus", sum (fun sp -> sp.bus_energy_j));
+      ("dram", sum (fun sp -> sp.dram_energy_j));
+      ("static", static_j);
+    ]
+  in
+  let energy_j = List.fold_left (fun acc (_, v) -> acc +. v) 0. components in
+  let fbatch = float_of_int batch in
+  {
+    batch;
+    spans;
+    batch_latency_s;
+    throughput_per_s = fbatch /. batch_latency_s;
+    energy_j;
+    energy_per_sample_j = energy_j /. fbatch;
+    edp_j_s = energy_j /. fbatch *. batch_latency_s;
+    energy_components = components;
+  }
+
+let evaluate ?(options = default_options) ctx ~batch group =
+  if batch < 1 then invalid_arg "Estimator.evaluate: batch < 1";
+  if Partition.total_units group <> Unit_gen.unit_count (Dataflow.units ctx) then
+    invalid_arg "Estimator.evaluate: group does not cover the decomposition";
+  let spans =
+    List.map
+      (fun (s : Partition.span) ->
+        span_perf ~options ctx ~batch ~start_:s.Partition.start_ ~stop:s.Partition.stop)
+      (Partition.spans group)
+  in
+  combine ~options ctx ~batch spans
+
+let evaluate_cached ~cache ctx ~batch group =
+  if batch < 1 then invalid_arg "Estimator.evaluate_cached: batch < 1";
+  let spans =
+    List.map
+      (fun (s : Partition.span) ->
+        let key = (s.Partition.start_, s.Partition.stop) in
+        match Hashtbl.find_opt cache key with
+        | Some sp -> sp
+        | None ->
+          let sp = span_perf ctx ~batch ~start_:s.Partition.start_ ~stop:s.Partition.stop in
+          Hashtbl.add cache key sp;
+          sp)
+      (Partition.spans group)
+  in
+  combine ctx ~batch spans
+
+let pp_breakdown model ppf perf =
+  let open Compass_util in
+  Format.fprintf ppf "batch %d: latency %s, throughput %a, energy/sample %s, EDP %.3g Js@."
+    perf.batch
+    (Units.time_to_string perf.batch_latency_s)
+    Units.pp_rate perf.throughput_per_s
+    (Units.energy_to_string perf.energy_per_sample_j)
+    perf.edp_j_s;
+  let line k sp =
+    let layer_names =
+      String.concat ","
+        (List.map
+           (fun n -> (Compass_nn.Graph.layer model n).Compass_nn.Layer.name)
+           sp.io.Dataflow.weighted_layers)
+    in
+    let max_rep = Replication.max_replication sp.replication in
+    Format.fprintf ppf
+      "  P%-2d units[%d,%d) cores=%-2d rep<=%-2d write=%-10s compute=%-10s io=%-10s | %s@."
+      k sp.start_ sp.stop sp.cores_used max_rep
+      (Units.time_to_string sp.write_s)
+      (Units.time_to_string sp.compute_s)
+      (Units.time_to_string sp.io_s)
+      layer_names
+  in
+  List.iteri line perf.spans

@@ -1,0 +1,107 @@
+(** Partition and partition-group performance estimation.
+
+    This is the paper's enhanced PIMCOMP latency estimator: the original
+    pipelined intra-partition model extended with weight-write phases,
+    intermediate-feature loads/stores and external-memory latency, executed
+    per batch (Sec. II-B, IV-A2).
+
+    Timing model per partition, for a batch of [B] samples:
+
+    - {b weight write}: unique weights are streamed from DRAM once and
+      broadcast on the bus; replicas cost extra macro programming time but
+      no extra DRAM traffic.  Cores program their macros in parallel, rows
+      serially within a core.
+    - {b compute}: the layer pipeline runs at the bottleneck stage,
+      [fill + B * max_l (mvms_l * op_time_l / rep_l)], with attached
+      non-crossbar work as an extra VFU stage.
+    - {b IO}: entry loads and exit stores move [B x bytes] over the bus;
+      tensors that do not fit the on-chip activation buffers additionally
+      pay DRAM bandwidth and a per-endpoint request overhead.  IO overlaps
+      compute (double buffering), so a partition costs
+      [max(compute, io)].
+    - {b write overlap}: the weight fetch of partition [p+1] hides under
+      DRAM idle time while [p] computes
+      ([exposed = max(0, write - max(0, compute_p - io_p))]).
+
+    Energy integrates MVM, VFU, macro programming, bus, DRAM (analytic
+    streaming model) and chip static power. *)
+
+type span_perf = {
+  start_ : int;
+  stop : int;
+  io : Dataflow.partition_io;
+  replication : Replication.t;
+  cores_used : int;
+  utilization : float;  (** Tiles placed over chip tiles. *)
+  stage_times : (Compass_nn.Graph.node * float) list;
+      (** Per-sample stage time of each weighted layer after replication. *)
+  bottleneck_s : float;  (** Slowest per-sample stage (incl. attached VFU). *)
+  fill_s : float;  (** Pipeline fill latency. *)
+  compute_s : float;  (** Batch compute time. *)
+  unique_weight_bytes : float;  (** DRAM traffic for weights. *)
+  programmed_bytes : float;  (** Including replicas. *)
+  write_s : float;  (** Weight replacement phase, before overlap. *)
+  io_load_bytes : float;  (** Batch activation loads. *)
+  io_store_bytes : float;
+  io_dram_bytes : float;
+      (** Batch activation traffic that spills to DRAM: model inputs and
+          outputs always, plus inter-partition tensors whose batch residency
+          exceeds the on-chip activation buffer (half the cores' local
+          memory); everything else stays on chip and only crosses the bus. *)
+  io_s : float;
+  span_s : float;  (** write + max(compute, io): the span's raw latency. *)
+  mvm_energy_j : float;
+  vfu_energy_j : float;
+  write_energy_j : float;  (** Macro programming. *)
+  bus_energy_j : float;
+  dram_energy_j : float;
+}
+
+type model_options = {
+  write_overlap : bool;
+      (** Hide the next partition's weight fetch under the previous
+          partition's DRAM-idle compute (Fig. 2); on by default. *)
+  onchip_buffering : bool;
+      (** Keep fitting boundary tensors in the cores' local memories instead
+          of DRAM; on by default. *)
+  charge_writes : bool;
+      (** Charge weight-write phases at all.  Disabled only by the
+          all-on-chip (PUMA/PIMCOMP) execution mode, where weights are
+          pinned once and reused forever. *)
+}
+
+val default_options : model_options
+(** All features enabled — the COMPASS model. *)
+
+type perf = {
+  batch : int;
+  spans : span_perf list;
+  batch_latency_s : float;  (** With inter-partition write overlap. *)
+  throughput_per_s : float;  (** Samples per second. *)
+  energy_j : float;  (** Whole batch, including static. *)
+  energy_per_sample_j : float;
+  edp_j_s : float;  (** Energy per sample x per-sample latency. *)
+  energy_components : (string * float) list;
+}
+
+val span_perf :
+  ?options:model_options -> Dataflow.ctx -> batch:int -> start_:int -> stop:int -> span_perf
+(** Evaluate one candidate partition; results are cacheable by
+    [(start_, stop, batch, options)]. *)
+
+val evaluate :
+  ?options:model_options -> Dataflow.ctx -> batch:int -> Partition.t -> perf
+(** Evaluate a full partition group.  Raises [Invalid_argument] if the
+    group does not cover the decomposition or [batch < 1]. *)
+
+val evaluate_cached :
+  cache:(int * int, span_perf) Hashtbl.t ->
+  Dataflow.ctx ->
+  batch:int ->
+  Partition.t ->
+  perf
+(** [evaluate] with an external span cache (the GA owns one per run; all
+    entries must come from the same [ctx] and [batch]). *)
+
+val pp_breakdown : Compass_nn.Graph.t -> Format.formatter -> perf -> unit
+(** Per-partition table: layers, replication, write/compute/io split. *)

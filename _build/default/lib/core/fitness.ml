@@ -1,0 +1,49 @@
+type objective =
+  | Latency
+  | Energy
+  | Edp
+
+let objective_of_string s =
+  match String.lowercase_ascii s with
+  | "latency" | "throughput" -> Latency
+  | "energy" | "power" -> Energy
+  | "edp" -> Edp
+  | other -> invalid_arg ("Fitness.objective_of_string: " ^ other)
+
+let objective_to_string = function
+  | Latency -> "latency"
+  | Energy -> "energy"
+  | Edp -> "edp"
+
+let span_energy (sp : Estimator.span_perf) =
+  sp.Estimator.mvm_energy_j +. sp.Estimator.vfu_energy_j +. sp.Estimator.write_energy_j
+  +. sp.Estimator.bus_energy_j +. sp.Estimator.dram_energy_j
+
+let span_fitness objective (sp : Estimator.span_perf) =
+  match objective with
+  | Latency -> sp.Estimator.span_s
+  | Energy -> span_energy sp
+  | Edp -> sp.Estimator.span_s *. span_energy sp
+
+let group_fitness objective (perf : Estimator.perf) =
+  List.fold_left (fun acc sp -> acc +. span_fitness objective sp) 0. perf.Estimator.spans
+
+let unit_fitness_profile objective (perf : Estimator.perf) ~total_units =
+  let m = Array.make total_units 0. in
+  List.iter
+    (fun (sp : Estimator.span_perf) ->
+      let len = sp.Estimator.stop - sp.Estimator.start_ in
+      let per_unit = span_fitness objective sp /. float_of_int len in
+      for i = sp.Estimator.start_ to sp.Estimator.stop - 1 do
+        m.(i) <- per_unit
+      done)
+    perf.Estimator.spans;
+  m
+
+let partition_scores ~population_profile objective (perf : Estimator.perf) =
+  let expected a b = population_profile.(b) -. population_profile.(a) in
+  let score (sp : Estimator.span_perf) =
+    let e = expected sp.Estimator.start_ sp.Estimator.stop in
+    if e <= 0. then 1. else span_fitness objective sp /. e
+  in
+  Array.of_list (List.map score perf.Estimator.spans)

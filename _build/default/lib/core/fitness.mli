@@ -1,0 +1,33 @@
+(** Optimization objectives and fitness extraction (paper Sec. III-C1).
+
+    The user picks the fitness the GA minimizes; partition-group fitness
+    (PGF) is the sum of the partitions' fitness, and the per-partition value
+    also feeds the partition score used to pick mutation victims. *)
+
+type objective =
+  | Latency  (** Batch makespan (the paper's throughput fitness). *)
+  | Energy  (** Dynamic energy per batch. *)
+  | Edp  (** Latency x energy surrogate. *)
+
+val objective_of_string : string -> objective
+(** Accepts "latency", "throughput", "energy", "power", "edp" (case
+    insensitive).  Raises [Invalid_argument] otherwise. *)
+
+val objective_to_string : objective -> string
+
+val span_fitness : objective -> Estimator.span_perf -> float
+(** Lower is better; strictly positive for non-trivial spans. *)
+
+val group_fitness : objective -> Estimator.perf -> float
+(** PGF: the sum of [span_fitness] over the group's partitions. *)
+
+val unit_fitness_profile : objective -> Estimator.perf -> total_units:int -> float array
+(** The m(x) vector of Sec. III-C2: each unit inherits its partition's
+    fitness divided by the partition's unit count. *)
+
+val partition_scores : population_profile:float array -> objective -> Estimator.perf -> float array
+(** R for every partition of an individual:
+    [f(P) / E_population(sum of m over P's span)].
+    [population_profile] is the prefix sum of the population-mean m(x)
+    (length [total_units + 1]).  Partitions whose expected span fitness is
+    zero score 1. *)

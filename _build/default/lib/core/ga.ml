@@ -1,0 +1,268 @@
+open Compass_util
+
+type mutation_scheme =
+  | Merge
+  | Split
+  | Move
+  | Fixed_random
+
+let scheme_name = function
+  | Merge -> "merge"
+  | Split -> "split"
+  | Move -> "move"
+  | Fixed_random -> "fixed_random"
+
+let all_schemes = [ Merge; Split; Move; Fixed_random ]
+
+type params = {
+  population : int;
+  generations : int;
+  n_sel : int;
+  n_mut : int;
+  early_stop_patience : int;
+  mutation_retries : int;
+  schemes : mutation_scheme list;
+  crossover_rate : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    population = 100;
+    generations = 30;
+    n_sel = 20;
+    n_mut = 80;
+    early_stop_patience = 10;
+    mutation_retries = 5;
+    schemes = all_schemes;
+    crossover_rate = 0.;
+    seed = 0xC0FFEE;
+  }
+
+let quick_params =
+  {
+    population = 24;
+    generations = 10;
+    n_sel = 6;
+    n_mut = 18;
+    early_stop_patience = 5;
+    mutation_retries = 5;
+    schemes = all_schemes;
+    crossover_rate = 0.;
+    seed = 0xC0FFEE;
+  }
+
+type individual = {
+  group : Partition.t;
+  perf : Estimator.perf;
+  fitness : float;
+}
+
+type generation_record = {
+  generation : int;
+  selected : (float * int) list;
+  mutated : (float * int) list;
+  best_fitness : float;
+}
+
+type result = {
+  best : individual;
+  history : generation_record list;
+  generations_run : int;
+  evaluations : int;
+  cache_spans : int;
+}
+
+(* Randomly tile [lo, hi) with valid partitions, clamping each step so the
+   walk lands exactly on [hi]. *)
+let random_cover rng validity ~lo ~hi =
+  let rec walk acc pos =
+    if pos >= hi then List.rev acc
+    else
+      let bound = min (Validity.max_end validity pos) hi in
+      let stop = if Rng.bool rng then bound else Rng.int_in rng (pos + 1) bound in
+      walk ({ Partition.start_ = pos; stop } :: acc) stop
+  in
+  walk [] lo
+
+let random_group rng validity =
+  Partition.of_spans (random_cover rng validity ~lo:0 ~hi:(Validity.size validity))
+
+(* The four mutation schemes of Sec. III-C3.  Each returns a candidate group
+   or raises; the caller validity-checks and retries. *)
+
+let argmax_by f arr =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if f x > f arr.(!best) then best := i) arr;
+  !best
+
+let argmin_by f arr =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if f x < f arr.(!best) then best := i) arr;
+  !best
+
+let mutate_merge _rng scores group =
+  let k = Partition.partition_count group in
+  if k < 2 then invalid_arg "merge: single partition";
+  (* Worst-performing neighbouring pair. *)
+  let pair_scores = Array.init (k - 1) (fun i -> scores.(i) +. scores.(i + 1)) in
+  let worst = argmax_by (fun x -> x) pair_scores in
+  Partition.merge group worst
+
+let mutate_split rng scores group =
+  let k = Partition.partition_count group in
+  (* Worst partition that can be split. *)
+  let candidates =
+    List.filter
+      (fun i -> Partition.span_length (Partition.span_at group i) >= 2)
+      (List.init k (fun i -> i))
+  in
+  if candidates = [] then invalid_arg "split: no splittable partition";
+  let victim =
+    List.fold_left
+      (fun acc i -> if scores.(i) > scores.(acc) then i else acc)
+      (List.hd candidates) candidates
+  in
+  let span = Partition.span_at group victim in
+  let at = Rng.int_in rng (span.Partition.start_ + 1) (span.Partition.stop - 1) in
+  Partition.split group victim ~at
+
+let mutate_move rng scores group =
+  let k = Partition.partition_count group in
+  if k < 2 then invalid_arg "move: single partition";
+  let victim = argmax_by (fun x -> x) scores in
+  (* Move one unit across one of the victim's boundaries. *)
+  let boundary =
+    if victim = 0 then 0
+    else if victim = k - 1 then k - 2
+    else if Rng.bool rng then victim - 1
+    else victim
+  in
+  let delta = if Rng.bool rng then 1 else -1 in
+  Partition.move group boundary ~delta
+
+(* Single-point crossover (extension): keep parent A's cuts before one of
+   parent B's interior cuts, then B's cuts from there on.  The bridging
+   span is the only new gene and must be validity-checked by the caller. *)
+let crossover rng a b =
+  let cuts_b = Partition.cuts b in
+  if Array.length cuts_b < 3 then invalid_arg "crossover: parent B has no interior cut";
+  let point = cuts_b.(Rng.int_in rng 1 (Array.length cuts_b - 2)) in
+  let left = List.filter (fun c -> c < point) (Array.to_list (Partition.cuts a)) in
+  let right = List.filter (fun c -> c >= point) (Array.to_list cuts_b) in
+  Partition.of_cuts (Array.of_list (left @ right))
+
+let mutate_fixed_random rng validity scores group =
+  let keep = argmin_by (fun x -> x) scores in
+  let span = Partition.span_at group keep in
+  let m = Validity.size validity in
+  let prefix = random_cover rng validity ~lo:0 ~hi:span.Partition.start_ in
+  let suffix = random_cover rng validity ~lo:span.Partition.stop ~hi:m in
+  Partition.of_spans (prefix @ (span :: suffix))
+
+let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx validity ~batch =
+  if params.population < 2 then invalid_arg "Ga.optimize: population < 2";
+  if params.n_sel < 1 || params.n_sel > params.population then
+    invalid_arg "Ga.optimize: bad n_sel";
+  if params.n_mut < 0 then invalid_arg "Ga.optimize: bad n_mut";
+  if params.schemes = [] then invalid_arg "Ga.optimize: no mutation schemes";
+  if params.crossover_rate < 0. || params.crossover_rate > 1. then
+    invalid_arg "Ga.optimize: crossover_rate out of range";
+  let scheme_array = Array.of_list params.schemes in
+  let rng = Rng.create params.seed in
+  let cache : (int * int, Estimator.span_perf) Hashtbl.t = Hashtbl.create 1024 in
+  let evaluations = ref 0 in
+  let evaluate group =
+    incr evaluations;
+    let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
+    { group; perf; fitness = Fitness.group_fitness objective perf }
+  in
+  let total_units = Validity.size validity in
+  let population =
+    ref (Array.init params.population (fun _ -> evaluate (random_group rng validity)))
+  in
+  let by_fitness arr = Array.sort (fun a b -> compare a.fitness b.fitness) arr in
+  let history = ref [] in
+  let best_seen = ref infinity in
+  let stall = ref 0 in
+  let generations_run = ref 0 in
+  (try
+     for g = 0 to params.generations - 1 do
+       generations_run := g + 1;
+       by_fitness !population;
+       let pop = !population in
+       let selected = Array.sub pop 0 (min params.n_sel (Array.length pop)) in
+       (* Population-mean unit-fitness profile (prefix summed) for scores. *)
+       let profile = Array.make (total_units + 1) 0. in
+       let npop = float_of_int (Array.length pop) in
+       Array.iter
+         (fun ind ->
+           let m = Fitness.unit_fitness_profile objective ind.perf ~total_units in
+           Array.iteri (fun i v -> profile.(i + 1) <- profile.(i + 1) +. (v /. npop)) m)
+         pop;
+       for i = 0 to total_units - 1 do
+         profile.(i + 1) <- profile.(i) +. profile.(i + 1)
+       done;
+       let mutate_once parent =
+         let scores =
+           Fitness.partition_scores ~population_profile:profile objective parent.perf
+         in
+         let rec attempt tries =
+           if tries = 0 then evaluate (random_group rng validity)
+           else
+             match
+               (match Rng.pick_array rng scheme_array with
+                | Merge -> mutate_merge rng scores parent.group
+                | Split -> mutate_split rng scores parent.group
+                | Move -> mutate_move rng scores parent.group
+                | Fixed_random -> mutate_fixed_random rng validity scores parent.group)
+             with
+             | child when Validity.group_valid validity child -> evaluate child
+             | _ -> attempt (tries - 1)
+             | exception Invalid_argument _ -> attempt (tries - 1)
+         in
+         attempt params.mutation_retries
+       in
+       let crossover_once () =
+         let a = Rng.pick_array rng selected in
+         let b = Rng.pick_array rng selected in
+         match crossover rng a.group b.group with
+         | child when Validity.group_valid validity child -> Some (evaluate child)
+         | _ -> None
+         | exception Invalid_argument _ -> None
+       in
+       let offspring () =
+         if params.crossover_rate > 0. && Rng.float rng 1. < params.crossover_rate then
+           match crossover_once () with
+           | Some child -> child
+           | None -> mutate_once (Rng.pick_array rng selected)
+         else mutate_once (Rng.pick_array rng selected)
+       in
+       let mutants = Array.init params.n_mut (fun _ -> offspring ()) in
+       let best_now = pop.(0).fitness in
+       history :=
+         {
+           generation = g;
+           selected = Array.to_list (Array.map (fun i -> (i.fitness, Partition.partition_count i.group)) selected);
+           mutated = Array.to_list (Array.map (fun i -> (i.fitness, Partition.partition_count i.group)) mutants);
+           best_fitness = best_now;
+         }
+         :: !history;
+       if best_now < !best_seen -. 1e-12 then begin
+         best_seen := best_now;
+         stall := 0
+       end
+       else incr stall;
+       population := Array.append selected mutants;
+       if params.early_stop_patience > 0 && !stall >= params.early_stop_patience then
+         raise Exit
+     done
+   with Exit -> ());
+  by_fitness !population;
+  {
+    best = !population.(0);
+    history = List.rev !history;
+    generations_run = !generations_run;
+    evaluations = !evaluations;
+    cache_spans = Hashtbl.length cache;
+  }

@@ -1,0 +1,83 @@
+(** The COMPASS genetic algorithm (paper Algorithm 1, Sec. III-C).
+
+    Chromosomes are partition groups; genes are partitions.  Each
+    generation keeps the [n_sel] fittest groups and fills the population
+    with [n_mut] mutants drawn (with replacement) from the survivors.  The
+    mutation victim inside a group is the partition with the worst
+    partition score R, and one of four schemes is applied with equal
+    probability:
+
+    - {b Merge}: fuse the worst-scoring pair of neighbours;
+    - {b Split}: cut the victim at a random interior point;
+    - {b Move}: shift the victim's boundary into a neighbour;
+    - {b FixedRandom}: keep the best-scoring partition, regenerate the
+      rest randomly within the validity map.
+
+    All offspring are validity-checked; failed mutations retry and fall
+    back to a fresh random group, so the population never leaves the
+    feasible region. *)
+
+type mutation_scheme =
+  | Merge
+  | Split
+  | Move
+  | Fixed_random
+
+val scheme_name : mutation_scheme -> string
+
+type params = {
+  population : int;
+  generations : int;
+  n_sel : int;
+  n_mut : int;
+  early_stop_patience : int;
+      (** Stop after this many generations without best-fitness improvement;
+          0 disables early stopping. *)
+  mutation_retries : int;
+  schemes : mutation_scheme list;
+      (** Enabled mutation schemes, drawn with equal probability (the paper
+          uses all four); restricting the list supports ablation studies. *)
+  crossover_rate : float;
+      (** Probability that an offspring comes from single-point crossover of
+          two survivors instead of mutation.  The paper's GA is
+          mutation-only; this is an extension, disabled (0.0) by default. *)
+  seed : int;
+}
+
+val default_params : params
+(** The paper's setting: population 100, 30 generations, n_sel 20,
+    n_mut 80, early stopping (patience 10). *)
+
+val quick_params : params
+(** A small budget for tests and examples (population 24, 10 generations). *)
+
+type individual = {
+  group : Partition.t;
+  perf : Estimator.perf;
+  fitness : float;
+}
+
+type generation_record = {
+  generation : int;
+  selected : (float * int) list;  (** (fitness, #partitions) of survivors. *)
+  mutated : (float * int) list;  (** (fitness, #partitions) of new mutants. *)
+  best_fitness : float;
+}
+
+type result = {
+  best : individual;
+  history : generation_record list;  (** Oldest first; Fig. 10's data. *)
+  generations_run : int;
+  evaluations : int;  (** Number of group evaluations performed. *)
+  cache_spans : int;  (** Distinct spans evaluated (cache size). *)
+}
+
+val optimize :
+  ?params:params ->
+  ?objective:Fitness.objective ->
+  Dataflow.ctx ->
+  Validity.t ->
+  batch:int ->
+  result
+(** Run the search.  Raises [Invalid_argument] on inconsistent parameters
+    (e.g. [n_sel > population]). *)

@@ -1,0 +1,95 @@
+open Compass_arch
+
+type assignment = {
+  unit_index : int;
+  replica : int;
+  tiles : int;
+}
+
+type t = {
+  cores : assignment list array;
+  tiles_used : int array;
+  total_tiles : int;
+  capacity_per_core : int;
+}
+
+let pack (units : Unit_gen.t) ~start_ ~stop ~replication =
+  let chip = units.Unit_gen.chip in
+  let ncores = chip.Config.cores in
+  let capacity = chip.Config.core.Config.macros_per_core in
+  if start_ < 0 || stop > Unit_gen.unit_count units || start_ >= stop then
+    invalid_arg "Mapping.pack: bad span";
+  (* Expand replicas, then first-fit-decreasing. *)
+  let items = ref [] in
+  (try
+     for i = start_ to stop - 1 do
+       let u = units.Unit_gen.units.(i) in
+       let r = replication i in
+       if r < 1 then invalid_arg "Mapping.pack: replication < 1";
+       if u.Unit_gen.tiles > capacity then
+         raise (Failure (Printf.sprintf "unit %d exceeds a core (%d tiles)" i u.Unit_gen.tiles));
+       for replica = 0 to r - 1 do
+         items := { unit_index = i; replica; tiles = u.Unit_gen.tiles } :: !items
+       done
+     done
+   with Failure msg ->
+     items := [];
+     raise (Invalid_argument ("Mapping.pack: " ^ msg)));
+  let sorted = List.sort (fun a b -> compare b.tiles a.tiles) !items in
+  let cores = Array.make ncores [] in
+  let tiles_used = Array.make ncores 0 in
+  let place item =
+    let rec fit c =
+      if c >= ncores then false
+      else if tiles_used.(c) + item.tiles <= capacity then begin
+        cores.(c) <- item :: cores.(c);
+        tiles_used.(c) <- tiles_used.(c) + item.tiles;
+        true
+      end
+      else fit (c + 1)
+    in
+    fit 0
+  in
+  let rec place_all = function
+    | [] -> Ok ()
+    | item :: rest -> if place item then place_all rest else Error item
+  in
+  match place_all sorted with
+  | Error item ->
+    Error
+      (Printf.sprintf "unit %d replica %d (%d tiles) does not fit" item.unit_index
+         item.replica item.tiles)
+  | Ok () ->
+    let total_tiles = Array.fold_left ( + ) 0 tiles_used in
+    Ok { cores = Array.map List.rev cores; tiles_used; total_tiles; capacity_per_core = capacity }
+
+let feasible units ~start_ ~stop =
+  match pack units ~start_ ~stop ~replication:(fun _ -> 1) with
+  | Ok _ -> true
+  | Error _ -> false
+  | exception Invalid_argument _ -> false
+
+let cores_used t =
+  Array.fold_left (fun acc used -> if used > 0 then acc + 1 else acc) 0 t.tiles_used
+
+let utilization t =
+  let capacity = Array.length t.cores * t.capacity_per_core in
+  if capacity = 0 then 0. else float_of_int t.total_tiles /. float_of_int capacity
+
+let pp ppf t =
+  Array.iteri
+    (fun c assignments ->
+      if assignments <> [] then
+        Format.fprintf ppf "core %2d: %2d tiles, %d units@." c t.tiles_used.(c)
+          (List.length assignments))
+    t.cores
+
+let core_of_unit t ~unit_index ~replica =
+  let found = ref None in
+  Array.iteri
+    (fun c assignments ->
+      if !found = None
+         && List.exists (fun a -> a.unit_index = unit_index && a.replica = replica) assignments
+      then found := Some c)
+    t.cores;
+  match !found with Some c -> c | None -> raise Not_found

@@ -1,0 +1,42 @@
+(** Placement of partition units (and their replicas) onto PIM cores.
+
+    Units never split across cores, so placement is bin packing with bin
+    capacity = macros per core; first-fit-decreasing is used both as the
+    feasibility oracle for the validity map and as the actual placement the
+    scheduler emits. *)
+
+type assignment = {
+  unit_index : int;
+  replica : int;  (** 0-based replica id. *)
+  tiles : int;
+}
+
+type t = {
+  cores : assignment list array;  (** Index = core id; creation order. *)
+  tiles_used : int array;
+  total_tiles : int;
+  capacity_per_core : int;
+}
+
+val pack :
+  Unit_gen.t ->
+  start_:int ->
+  stop:int ->
+  replication:(int -> int) ->
+  (t, string) result
+(** [pack units ~start_ ~stop ~replication] places every unit of the span
+    with [replication unit_index] copies.  [Error] explains the failure
+    (an oversized unit or insufficient total capacity/fragmentation). *)
+
+val feasible : Unit_gen.t -> start_:int -> stop:int -> bool
+(** Placement feasibility at replication 1 — the validity-map predicate. *)
+
+val cores_used : t -> int
+
+val utilization : t -> float
+(** Used tiles over chip tiles, in [\[0, 1\]]. *)
+
+val core_of_unit : t -> unit_index:int -> replica:int -> int
+(** Core hosting a given replica.  Raises [Not_found] if absent. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+open Compass_nn
+
+type trace_entry = {
+  partition : int;
+  node : Graph.node;
+  direction : [ `Load | `Store ];
+}
+
+type result = {
+  output : Tensor.t;
+  partitions_executed : int;
+  traffic : trace_entry list;
+  peak_live_tensors : int;
+}
+
+let run ctx group weights input =
+  let units = Dataflow.units ctx in
+  if Partition.total_units group <> Unit_gen.unit_count units then
+    invalid_arg "Partition_exec.run: group does not cover the decomposition";
+  let model = units.Unit_gen.model in
+  let input_node =
+    match Graph.entry_nodes model with
+    | [ n ] -> n
+    | _ -> invalid_arg "Partition_exec.run: expected exactly one input"
+  in
+  let exit_node =
+    match Graph.exit_nodes model with
+    | [ n ] -> n
+    | _ -> invalid_arg "Partition_exec.run: expected exactly one output"
+  in
+  let spans = Array.of_list (Partition.spans group) in
+  let nparts = Array.length spans in
+  (* A node executes in the partition holding its last unit (its home). *)
+  let home_partition node =
+    let anchor = Dataflow.home_unit ctx node in
+    if anchor < 0 then -1 else Partition.partition_of_unit group anchor
+  in
+  (* Liveness in global memory: last partition that reads each tensor. *)
+  let last_reader = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let q = home_partition v in
+      List.iter
+        (fun u ->
+          if home_partition u <> q then
+            Hashtbl.replace last_reader u
+              (max q (Option.value ~default:(-1) (Hashtbl.find_opt last_reader u))))
+        (Graph.preds model v))
+    (Graph.topo_order model);
+  let global : (Graph.node, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.add global input_node input;
+  let traffic = ref [] in
+  let peak = ref 1 in
+  let final = ref None in
+  for p = 0 to nparts - 1 do
+    let local : (Graph.node, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
+    let loaded = Hashtbl.create 8 in
+    let fetch v u =
+      match Hashtbl.find_opt local u with
+      | Some t -> t
+      | None -> (
+        match Hashtbl.find_opt global u with
+        | Some t ->
+          if not (Hashtbl.mem loaded u) then begin
+            Hashtbl.add loaded u ();
+            traffic := { partition = p; node = u; direction = `Load } :: !traffic
+          end;
+          t
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Partition_exec: node %d needs %d before it is available" v u))
+    in
+    (* Execute the partition's nodes in topological order. *)
+    List.iter
+      (fun v ->
+        if v <> input_node && home_partition v = p then begin
+          let inputs = List.map (fetch v) (Graph.preds model v) in
+          Hashtbl.add local v (Executor.apply_node model weights v inputs)
+        end)
+      (Graph.topo_order model);
+    (* Store exit tensors: consumed by a later partition or the model exit. *)
+    Hashtbl.iter
+      (fun u t ->
+        let consumed_later =
+          List.exists (fun v -> home_partition v > p) (Graph.succs model u)
+        in
+        if consumed_later || u = exit_node then begin
+          traffic := { partition = p; node = u; direction = `Store } :: !traffic;
+          Hashtbl.replace global u t
+        end)
+      local;
+    (* Free tensors whose last reader was this partition. *)
+    Hashtbl.iter
+      (fun u q -> if q = p && u <> exit_node then Hashtbl.remove global u)
+      (Hashtbl.copy last_reader);
+    peak := max !peak (Hashtbl.length global);
+    if Hashtbl.mem local exit_node then final := Hashtbl.find_opt local exit_node
+  done;
+  let output =
+    match !final with
+    | Some t -> t
+    | None -> (
+      match Hashtbl.find_opt global exit_node with
+      | Some t -> t
+      | None -> invalid_arg "Partition_exec.run: output never produced")
+  in
+  {
+    output;
+    partitions_executed = nparts;
+    traffic = List.rev !traffic;
+    peak_live_tensors = !peak;
+  }
+
+let matches_reference ctx group weights input =
+  let model = (Dataflow.units ctx).Unit_gen.model in
+  let reference = Executor.output model weights input in
+  let partitioned = (run ctx group weights input).output in
+  Tensor.equal ~eps:1e-9 reference partitioned

@@ -1,0 +1,46 @@
+(** Functional validation of partitioned execution (paper Fig. 2).
+
+    Executes a model partition by partition, exactly as the compiled plan
+    would: each partition computes only the nodes homed in it, reading
+    boundary tensors from a simulated global memory and writing its own
+    exit tensors back.  Because the arithmetic is the reference [Tensor]
+    implementation, the final output must equal whole-model execution
+    bit-for-bit — proving the partitioning transformation (including
+    multi-endpoint residual/fire-module cuts) preserves the network's
+    function.
+
+    The observed global-memory traffic is also checked against
+    [Dataflow.span_io]'s load/store sets in the test suite. *)
+
+type trace_entry = {
+  partition : int;
+  node : Compass_nn.Graph.node;
+  direction : [ `Load | `Store ];
+}
+
+type result = {
+  output : Compass_nn.Tensor.t;
+  partitions_executed : int;
+  traffic : trace_entry list;  (** In execution order. *)
+  peak_live_tensors : int;
+      (** Largest number of tensors simultaneously resident in global
+          memory. *)
+}
+
+val run :
+  Dataflow.ctx ->
+  Partition.t ->
+  Compass_nn.Executor.weights ->
+  Compass_nn.Tensor.t ->
+  result
+(** Raises [Invalid_argument] if the group does not cover the
+    decomposition, weights are missing, or the model has multiple
+    inputs/outputs. *)
+
+val matches_reference :
+  Dataflow.ctx ->
+  Partition.t ->
+  Compass_nn.Executor.weights ->
+  Compass_nn.Tensor.t ->
+  bool
+(** [run] output equals [Executor.output] within 1e-9. *)

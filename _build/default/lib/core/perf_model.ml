@@ -1,0 +1,81 @@
+open Compass_nn
+open Compass_arch
+
+type layer_perf = {
+  node : Graph.node;
+  mvms : int;
+  tiles_in_span : int;
+  weight_bytes_in_span : float;
+  op_time_s : float;
+  macro_ops_per_mvm : int;
+  vfu_ops_per_mvm : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let span_layers ctx ~start_ ~stop =
+  let units = Dataflow.units ctx in
+  let model = units.Unit_gen.model in
+  let chip = units.Unit_gen.chip in
+  let xbar = chip.Config.crossbar in
+  let io = Dataflow.span_io ctx ~start_ ~stop in
+  let perf node =
+    let op = (Graph.layer model node).Layer.op in
+    let rows = Layer.weight_rows op in
+    let cols = Layer.weight_cols op in
+    let row_blocks = ceil_div rows xbar.Crossbar.rows in
+    (* Units of a layer are contiguous in decomposition order. *)
+    let unit_idxs =
+      List.filter (fun i -> i >= start_ && i < stop) (Unit_gen.units_of_layer units node)
+    in
+    let tiles_in_span =
+      List.fold_left (fun acc i -> acc + units.Unit_gen.units.(i).Unit_gen.tiles) 0 unit_idxs
+    in
+    let weight_bytes_in_span =
+      List.fold_left
+        (fun acc i -> acc +. units.Unit_gen.units.(i).Unit_gen.weight_bytes)
+        0. unit_idxs
+    in
+    let mvms = Graph.mvms_of model node in
+    (* VFU merge per MVM: accumulate [row_blocks] partial sums and apply the
+       fused activation for each output of the span's column share. *)
+    let span_cols =
+      List.fold_left
+        (fun acc i ->
+          let u = units.Unit_gen.units.(i) in
+          acc + (u.Unit_gen.col_hi - u.Unit_gen.col_lo))
+        0 unit_idxs
+    in
+    let span_cols = min cols span_cols in
+    let vfu_ops_per_mvm = span_cols * (row_blocks + 1) in
+    let hosting_cores =
+      max 1 (ceil_div tiles_in_span chip.Config.core.Config.macros_per_core)
+    in
+    let lanes = chip.Config.core.Config.vfus_per_core * hosting_cores in
+    let vfu_time =
+      float_of_int vfu_ops_per_mvm
+      /. float_of_int lanes /. chip.Config.core.Config.clock_hz
+    in
+    {
+      node;
+      mvms;
+      tiles_in_span;
+      weight_bytes_in_span;
+      op_time_s = xbar.Crossbar.mvm_latency_s +. vfu_time;
+      macro_ops_per_mvm = tiles_in_span;
+      vfu_ops_per_mvm;
+    }
+  in
+  List.map perf io.Dataflow.weighted_layers
+
+let stage_time_s perf ~replication =
+  if replication < 1 then invalid_arg "Perf_model.stage_time_s: replication < 1";
+  float_of_int perf.mvms *. perf.op_time_s /. float_of_int replication
+
+let attached_vfu_ops ctx io =
+  let model = (Dataflow.units ctx).Unit_gen.model in
+  List.fold_left
+    (fun acc node -> acc + Graph.vector_ops_of model node)
+    0 io.Dataflow.attached
+
+let max_useful_replication perf = max 1 perf.mvms

@@ -1,0 +1,125 @@
+exception Load_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Load_error msg)) fmt
+
+let is_zoo_model name = List.mem name Compass_nn.Models.all_names
+
+let to_string (plan : Compiler.t) =
+  let buf = Buffer.create 256 in
+  let model_name = Compass_nn.Graph.name plan.Compiler.model in
+  Buffer.add_string buf "compass-plan 1\n";
+  Buffer.add_string buf (Printf.sprintf "model %s\n" model_name);
+  Buffer.add_string buf
+    (Printf.sprintf "chip %s\n" plan.Compiler.chip.Compass_arch.Config.label);
+  Buffer.add_string buf (Printf.sprintf "batch %d\n" plan.Compiler.batch);
+  Buffer.add_string buf
+    (Printf.sprintf "objective %s\n" (Fitness.objective_to_string plan.Compiler.objective));
+  Buffer.add_string buf
+    (Printf.sprintf "scheme %s\n" (Compiler.scheme_to_string plan.Compiler.scheme));
+  Buffer.add_string buf
+    (Printf.sprintf "cuts %s\n"
+       (String.concat " "
+          (List.map string_of_int (Array.to_list (Partition.cuts plan.Compiler.group)))));
+  if not (is_zoo_model model_name) then begin
+    Buffer.add_string buf "model-text\n";
+    Buffer.add_string buf (Compass_nn.Model_text.to_string plan.Compiler.model)
+  end;
+  Buffer.contents buf
+
+let save path plan =
+  let oc = open_out path in
+  output_string oc (to_string plan);
+  close_out oc
+
+let of_string text =
+  (* Header lines until an optional model-text marker. *)
+  let lines = String.split_on_char '\n' text in
+  let fields = Hashtbl.create 8 in
+  let rec scan = function
+    | [] -> None
+    | line :: rest -> (
+      match String.index_opt line ' ' with
+      | _ when String.trim line = "" -> scan rest
+      | _ when String.trim line = "model-text" -> Some (String.concat "\n" rest)
+      | Some i ->
+        Hashtbl.replace fields (String.sub line 0 i)
+          (String.sub line (i + 1) (String.length line - i - 1));
+        scan rest
+      | None -> fail "malformed line %S" line)
+  in
+  let inline_model = scan lines in
+  let get key =
+    match Hashtbl.find_opt fields key with
+    | Some v -> String.trim v
+    | None -> fail "missing field %s" key
+  in
+  if Hashtbl.find_opt fields "compass-plan" <> Some "1" then
+    fail "not a compass-plan version 1 file";
+  let model_name = get "model" in
+  let model =
+    match inline_model with
+    | Some text -> (
+      try Compass_nn.Model_text.parse text
+      with Compass_nn.Model_text.Parse_error (line, msg) ->
+        fail "inline model, line %d: %s" line msg)
+    | None -> (
+      try Compass_nn.Models.by_name model_name
+      with Not_found -> fail "unknown zoo model %s" model_name)
+  in
+  let chip =
+    try Compass_arch.Config.by_label (get "chip")
+    with Not_found -> fail "unknown chip %s" (get "chip")
+  in
+  let batch =
+    match int_of_string_opt (get "batch") with
+    | Some b when b >= 1 -> b
+    | _ -> fail "bad batch %S" (get "batch")
+  in
+  let objective =
+    try Fitness.objective_of_string (get "objective")
+    with Invalid_argument _ -> fail "bad objective %S" (get "objective")
+  in
+  let scheme =
+    try Compiler.scheme_of_string (get "scheme")
+    with Invalid_argument _ -> fail "bad scheme %S" (get "scheme")
+  in
+  let cuts =
+    let words = String.split_on_char ' ' (get "cuts") |> List.filter (fun w -> w <> "") in
+    match List.map int_of_string_opt words with
+    | ints when List.for_all Option.is_some ints && ints <> [] ->
+      Array.of_list (List.map Option.get ints)
+    | _ -> fail "bad cuts %S" (get "cuts")
+  in
+  let units = Unit_gen.generate model chip in
+  let group =
+    try Partition.of_cuts cuts
+    with Invalid_argument msg -> fail "invalid cuts: %s" msg
+  in
+  if Partition.total_units group <> Unit_gen.unit_count units then
+    fail "cuts cover %d units but the decomposition has %d (different hardware?)"
+      (Partition.total_units group) (Unit_gen.unit_count units);
+  let validity = Validity.build units in
+  if not (Validity.group_valid validity group) then
+    fail "stored partitioning is not valid for chip %s" chip.Compass_arch.Config.label;
+  let ctx = Dataflow.context units in
+  let perf = Estimator.evaluate ctx ~batch group in
+  {
+    Compiler.model;
+    chip;
+    batch;
+    scheme;
+    objective;
+    units;
+    ctx;
+    validity;
+    group;
+    perf;
+    ga = None;
+  }
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text

@@ -1,0 +1,36 @@
+(** Plan serialization.
+
+    A compiled plan is fully determined by (model, chip, batch, objective,
+    scheme, partition cuts): everything else — replication, mapping,
+    estimates — is recomputed deterministically.  This module stores that
+    tuple in a small line-oriented format so expensive GA searches can be
+    archived and reloaded:
+
+    {v
+    compass-plan 1
+    model resnet18
+    chip M
+    batch 16
+    objective latency
+    scheme compass
+    cuts 0 11 21 29 54 82 84
+    v}
+
+    The model is referenced by zoo name; plans for custom graphs embed the
+    model inline after a [model-text] marker using [Model_text]. *)
+
+val to_string : Compiler.t -> string
+
+val save : string -> Compiler.t -> unit
+(** [save path plan] writes [to_string plan]. *)
+
+exception Load_error of string
+
+val of_string : string -> Compiler.t
+(** Rebuild the plan: re-derives units, validity, dataflow and estimates
+    for the stored cuts.  Raises [Load_error] on malformed input, unknown
+    model/chip names, or cuts that do not match the decomposition
+    (e.g. the file was produced for different hardware). *)
+
+val load : string -> Compiler.t
+(** [load path] reads and parses a file. *)

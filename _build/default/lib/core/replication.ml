@@ -1,0 +1,110 @@
+open Compass_arch
+
+type t = {
+  per_layer : (Compass_nn.Graph.node * int) list;
+  tiles_used : int;
+  spare_tiles : int;
+}
+
+let replication_of t node =
+  Option.value ~default:1 (List.assoc_opt node t.per_layer)
+
+let unit_replication t units i =
+  replication_of t (Unit_gen.layer_of_unit units i)
+
+let max_replication t = List.fold_left (fun acc (_, r) -> max acc r) 1 t.per_layer
+
+let allocate ctx ~batch ~start_ ~stop =
+  if batch < 1 then invalid_arg "Replication.allocate: batch < 1";
+  let units = Dataflow.units ctx in
+  let chip = units.Unit_gen.chip in
+  let budget = Config.total_macros chip in
+  let layers = Array.of_list (Perf_model.span_layers ctx ~start_ ~stop) in
+  let n = Array.length layers in
+  let rep = Array.make n 1 in
+  let tiles l = layers.(l).Perf_model.tiles_in_span in
+  let used = ref (Array.fold_left (fun acc p -> acc + p.Perf_model.tiles_in_span) 0 layers) in
+  let stage l = Perf_model.stage_time_s layers.(l) ~replication:rep.(l) in
+  (* Marginal cost of one more replica: its macros must be programmed at
+     every weight replacement; cores program in parallel, so the added time
+     is roughly the replica's rows spread across the chip. *)
+  let fbatch = float_of_int batch in
+  let write_cost l =
+    float_of_int (tiles l)
+    *. Compass_arch.Crossbar.write_latency_s chip.Config.crossbar
+    /. float_of_int chip.Config.cores
+  in
+  let compute_saving l =
+    let r = float_of_int rep.(l) in
+    fbatch
+    *. float_of_int layers.(l).Perf_model.mvms
+    *. layers.(l).Perf_model.op_time_s
+    *. ((1. /. r) -. (1. /. (r +. 1.)))
+  in
+  (* Greedy: replicate the current bottleneck while capacity allows, the
+     bottleneck can still improve, and the batch amortizes the extra
+     programming (the paper's joint replacement/replication trade-off). *)
+  let incremented = ref [] in
+  let rec grow () =
+    let bottleneck = ref (-1) in
+    for l = 0 to n - 1 do
+      if layers.(l).Perf_model.mvms > 1
+         && rep.(l) < Perf_model.max_useful_replication layers.(l)
+         && tiles l > 0
+         && !used + tiles l <= budget
+         && compute_saving l > write_cost l
+      then
+        if !bottleneck < 0 || stage l > stage !bottleneck then bottleneck := l
+    done;
+    if !bottleneck >= 0 then begin
+      (* Only replicating the true pipeline bottleneck helps; if the worst
+         replicable stage is not the global bottleneck, stop. *)
+      let global_worst = ref 0. in
+      for l = 0 to n - 1 do
+        global_worst := max !global_worst (stage l)
+      done;
+      if stage !bottleneck >= !global_worst *. (1. -. 1e-9) then begin
+        let l = !bottleneck in
+        rep.(l) <- rep.(l) + 1;
+        used := !used + tiles l;
+        incremented := l :: !incremented;
+        grow ()
+      end
+    end
+  in
+  if n > 0 then grow ();
+  (* Bin-packing may fail even under the tile budget (fragmentation): undo
+     the most recent increments until placement succeeds. *)
+  let per_layer () =
+    List.mapi (fun l p -> (p.Perf_model.node, rep.(l))) (Array.to_list layers)
+  in
+  let feasible () =
+    let alloc = { per_layer = per_layer (); tiles_used = !used; spare_tiles = 0 } in
+    match
+      Mapping.pack units ~start_ ~stop ~replication:(fun i ->
+          unit_replication alloc units i)
+    with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  let rec shrink () =
+    if not (feasible ()) then
+      match !incremented with
+      | [] -> () (* replication 1 must fit: the span came from the validity map *)
+      | l :: rest ->
+        rep.(l) <- rep.(l) - 1;
+        used := !used - tiles l;
+        incremented := rest;
+        shrink ()
+  in
+  shrink ();
+  { per_layer = per_layer (); tiles_used = !used; spare_tiles = budget - !used }
+
+let pp ctx ppf t =
+  let model = (Dataflow.units ctx).Unit_gen.model in
+  let line (node, r) =
+    let l = Compass_nn.Graph.layer model node in
+    Format.fprintf ppf "  %-18s x%d@." l.Compass_nn.Layer.name r
+  in
+  Format.fprintf ppf "replication (%d tiles used, %d spare):@." t.tiles_used t.spare_tiles;
+  List.iter line t.per_layer

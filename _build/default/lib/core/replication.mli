@@ -1,0 +1,38 @@
+(** Weight replication allocation inside a partition (paper Sec. II-B).
+
+    A partition executes as a layer pipeline; layers ahead of pooling or
+    striding process many more pixels and bound the pipeline.  Spare macros
+    left after mapping the partition once are spent replicating the current
+    bottleneck layer, PIMCOMP-style, under the paper's constraints:
+
+    - condition 2: all units originating from one kernel share a
+      replication count (replication is per layer);
+    - condition 3: the replicated total never exceeds the chip budget, and
+      the final placement must bin-pack onto the cores.
+
+    Replication is a joint optimization with weight replacement
+    (paper Sec. II-B): every replica must be programmed again when the
+    partition's weights are written, so the allocator only replicates the
+    bottleneck while the pipeline time saved over a batch exceeds the extra
+    macro-programming time. *)
+
+type t = {
+  per_layer : (Compass_nn.Graph.node * int) list;
+      (** Replication per weighted layer of the span (>= 1). *)
+  tiles_used : int;  (** After replication. *)
+  spare_tiles : int;
+}
+
+val allocate : Dataflow.ctx -> batch:int -> start_:int -> stop:int -> t
+(** Greedy bottleneck replication for the span; [batch] sets how many
+    samples amortize the write cost of each replica. *)
+
+val replication_of : t -> Compass_nn.Graph.node -> int
+(** 1 for layers absent from the allocation. *)
+
+val unit_replication : t -> Unit_gen.t -> int -> int
+(** Replication of a unit (by its layer), for [Mapping.pack]. *)
+
+val max_replication : t -> int
+
+val pp : Dataflow.ctx -> Format.formatter -> t -> unit

@@ -1,0 +1,132 @@
+type row = {
+  config : string;
+  scheme : string;
+  partitions : int;
+  latency_s : float;
+  throughput_per_s : float;
+  energy_per_sample_j : float;
+  edp_j_s : float;
+}
+
+let row_of_plan (plan : Compiler.t) =
+  {
+    config = Compiler.label plan;
+    scheme = Compiler.scheme_to_string plan.Compiler.scheme;
+    partitions = Partition.partition_count plan.Compiler.group;
+    latency_s = plan.Compiler.perf.Estimator.batch_latency_s;
+    throughput_per_s = plan.Compiler.perf.Estimator.throughput_per_s;
+    energy_per_sample_j = plan.Compiler.perf.Estimator.energy_per_sample_j;
+    edp_j_s = plan.Compiler.perf.Estimator.edp_j_s;
+  }
+
+let compare_schemes ?objective ?ga_params ~model ~chip ~batch () =
+  List.map
+    (fun scheme ->
+      row_of_plan (Compiler.compile ?objective ?ga_params ~model ~chip ~batch scheme))
+    [ Compiler.Compass; Compiler.Greedy; Compiler.Layerwise ]
+
+let find_scheme rows name =
+  match List.find_opt (fun r -> r.scheme = name) rows with
+  | Some r -> r
+  | None -> raise Not_found
+
+let speedup rows ~over =
+  let compass = find_scheme rows "compass" in
+  let baseline = find_scheme rows over in
+  compass.throughput_per_s /. baseline.throughput_per_s
+
+let rows_table rows =
+  let open Compass_util in
+  let table =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "config"; "scheme"; "parts"; "latency"; "throughput"; "energy/inf"; "EDP(J.s)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.config;
+          r.scheme;
+          string_of_int r.partitions;
+          Units.time_to_string r.latency_s;
+          Printf.sprintf "%.1f/s" r.throughput_per_s;
+          Units.energy_to_string r.energy_per_sample_j;
+          Printf.sprintf "%.3g" r.edp_j_s;
+        ])
+    rows;
+  table
+
+let rows_to_csv rows =
+  let header = "config,scheme,partitions,latency_s,throughput_per_s,energy_per_sample_j,edp_j_s" in
+  let line r =
+    Printf.sprintf "%s,%s,%d,%.9g,%.9g,%.9g,%.9g" r.config r.scheme r.partitions
+      r.latency_s r.throughput_per_s r.energy_per_sample_j r.edp_j_s
+  in
+  String.concat "\n" (header :: List.map line rows) ^ "\n"
+
+let write_csv path rows =
+  let oc = open_out path in
+  output_string oc (rows_to_csv rows);
+  close_out oc
+
+let support_table models chip =
+  let open Compass_util in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left; Table.Left ]
+      [ "Network"; "Linear(MB)"; "Conv(MB)"; "Total(MB)"; "Prev."; "Ours" ]
+  in
+  List.iter
+    (fun model ->
+      let s = Compass_nn.Summary.of_graph model in
+      let prev = Compiler.supported_by_prior_compilers model chip in
+      Table.add_row table
+        [
+          s.Compass_nn.Summary.model;
+          Printf.sprintf "%.3f" s.Compass_nn.Summary.linear_mb;
+          Printf.sprintf "%.3f" s.Compass_nn.Summary.conv_mb;
+          Printf.sprintf "%.3f" s.Compass_nn.Summary.total_mb;
+          (if prev then "V" else "X");
+          "V";
+        ])
+    models;
+  table
+
+let plan_layer_table (plan : Compiler.t) =
+  let open Compass_util in
+  let model = plan.Compiler.model in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      [ "layer"; "partition"; "replication"; "stage time"; "bottleneck" ]
+  in
+  List.iteri
+    (fun k (sp : Estimator.span_perf) ->
+      let bottleneck_node =
+        List.fold_left
+          (fun acc (node, s) ->
+            match acc with
+            | Some (_, best) when best >= s -> acc
+            | _ -> Some (node, s))
+          None sp.Estimator.stage_times
+      in
+      List.iter
+        (fun (node, stage_s) ->
+          let name = (Compass_nn.Graph.layer model node).Compass_nn.Layer.name in
+          let rep = Replication.replication_of sp.Estimator.replication node in
+          let is_bottleneck =
+            match bottleneck_node with Some (n, _) -> n = node | None -> false
+          in
+          Table.add_row table
+            [
+              name;
+              Printf.sprintf "P%d" k;
+              Printf.sprintf "x%d" rep;
+              Units.time_to_string stage_s;
+              (if is_bottleneck then "*" else "");
+            ])
+        sp.Estimator.stage_times)
+    plan.Compiler.perf.Estimator.spans;
+  table

@@ -1,0 +1,46 @@
+(** Cross-scheme comparisons and report rendering for the evaluation
+    harness (Figs. 6-9, Table II). *)
+
+type row = {
+  config : string;  (** "network-chip-batch". *)
+  scheme : string;
+  partitions : int;
+  latency_s : float;
+  throughput_per_s : float;
+  energy_per_sample_j : float;
+  edp_j_s : float;
+}
+
+val row_of_plan : Compiler.t -> row
+
+val compare_schemes :
+  ?objective:Fitness.objective ->
+  ?ga_params:Ga.params ->
+  model:Compass_nn.Graph.t ->
+  chip:Compass_arch.Config.chip ->
+  batch:int ->
+  unit ->
+  row list
+(** Compile all three schemes on one workload; rows in
+    [compass; greedy; layerwise] order. *)
+
+val speedup : row list -> over:string -> float
+(** Throughput of the "compass" row over the named baseline row.
+    Raises [Not_found] when a scheme is missing. *)
+
+val rows_table : row list -> Compass_util.Table.t
+
+val rows_to_csv : row list -> string
+(** Header plus one line per row; numeric fields in SI units. *)
+
+val write_csv : string -> row list -> unit
+(** [write_csv path rows] writes [rows_to_csv] to a file. *)
+
+val support_table : Compass_nn.Graph.t list -> Compass_arch.Config.chip -> Compass_util.Table.t
+(** Table II's support matrix against one chip: model sizes plus
+    "Prev."/"Ours" columns. *)
+
+val plan_layer_table : Compiler.t -> Compass_util.Table.t
+(** One row per weighted layer of the plan: partition, replication, stage
+    time after replication, and whether the layer is the partition's
+    pipeline bottleneck. *)

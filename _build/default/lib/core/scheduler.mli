@@ -1,0 +1,41 @@
+(** Instruction scheduling (paper Sec. III-A, "scheduler").
+
+    Lowers a partition group to one aggregate-instruction program per core
+    (see [Compass_isa.Instr]) covering one batch:
+
+    - per partition: each core programs its macros ([Weight_write],
+      overlapping the previous partition's drain on other cores, as in
+      Fig. 2), then a chip-wide barrier orders the partition's loads behind
+      the previous partition's stores;
+    - entry tensors are loaded from global memory by the first consuming
+      core and redistributed over the bus; exit tensors are stored by each
+      producing core (its column share);
+    - tensors that fit the on-chip activation buffers are handed to the
+      next partition as core-to-core [Send]/[Recv] pairs instead of
+      DRAM round trips ([Dataflow.spills_to_dram] decides);
+    - compute is emitted in [chunks] batch slices so the simulator
+      reproduces intra-partition pipelining across layers.
+
+    Weight blobs live in a dedicated DRAM region; boundary tensors are
+    placed by [Memory_alloc] when produced and freed after their last
+    consumer, giving the DRAM trace realistic, reusable addresses. *)
+
+type t = {
+  programs : Compass_isa.Program.t list;  (** One per core, core id order. *)
+  weight_region_bytes : int;  (** DRAM reserved for weights. *)
+  activation_high_water_bytes : int;  (** Peak live boundary-tensor bytes. *)
+  instruction_count : int;
+  spans : Partition.span list;
+}
+
+val build : Dataflow.ctx -> Partition.t -> batch:int -> ?chunks:int -> unit -> t
+(** [chunks] (default 4, clamped to [batch]) slices the batch for
+    pipelined emission.  Raises [Invalid_argument] on a group that does not
+    cover the decomposition or a non-positive batch. *)
+
+val simulate : Dataflow.ctx -> t -> Compass_isa.Sim.result
+(** Run the programs through the event-driven chip simulator. *)
+
+val dram_stats : Dataflow.ctx -> Compass_isa.Sim.result -> Compass_dram.Controller.stats
+(** Replay the simulation's DRAM trace through the bank-accurate LPDDR3
+    model (the paper's DRAMsim3 step). *)

@@ -1,0 +1,91 @@
+type t = {
+  units : Unit_gen.t;
+  max_end_ : int array;
+}
+
+let units t = t.units
+let size t = Array.length t.max_end_
+
+let build (units : Unit_gen.t) =
+  let m = Unit_gen.unit_count units in
+  let chip = units.Unit_gen.chip in
+  let budget = Compass_arch.Config.total_macros chip in
+  let tiles = Array.map (fun u -> u.Unit_gen.tiles) units.Unit_gen.units in
+  let prefix = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    prefix.(i + 1) <- prefix.(i) + tiles.(i)
+  done;
+  let max_end_ = Array.make m 0 in
+  (* Two-pointer capacity bound, then walk back over bin-packing failures so
+     that every stop <= max_end is feasible. *)
+  let cap_end = ref 0 in
+  for a = 0 to m - 1 do
+    if !cap_end < a + 1 then cap_end := a + 1;
+    while !cap_end < m && prefix.(!cap_end + 1) - prefix.(a) <= budget do
+      incr cap_end
+    done;
+    let b = ref !cap_end in
+    while !b > a + 1 && not (Mapping.feasible units ~start_:a ~stop:!b) do
+      decr b
+    done;
+    max_end_.(a) <- !b
+  done;
+  { units; max_end_ }
+
+let max_end t a =
+  if a < 0 || a >= size t then invalid_arg "Validity.max_end: out of range";
+  t.max_end_.(a)
+
+let is_valid t ~start_ ~stop =
+  start_ >= 0 && start_ < size t && stop > start_ && stop <= t.max_end_.(start_)
+
+let group_valid t group =
+  Partition.total_units group = size t
+  && List.for_all
+       (fun (s : Partition.span) ->
+         is_valid t ~start_:s.Partition.start_ ~stop:s.Partition.stop)
+       (Partition.spans group)
+
+let density t =
+  let m = size t in
+  if m = 0 then 0.
+  else begin
+    let valid = ref 0 in
+    for a = 0 to m - 1 do
+      valid := !valid + (t.max_end_.(a) - a)
+    done;
+    let all = m * (m + 1) / 2 in
+    float_of_int !valid /. float_of_int all
+  end
+
+let random_group rng t =
+  let m = size t in
+  let rec walk acc pos =
+    if pos >= m then List.rev acc
+    else
+      let hi = t.max_end_.(pos) in
+      (* Half the time jump as far as possible; otherwise uniform.  This
+         biases early populations towards fewer partitions. *)
+      let stop =
+        if Compass_util.Rng.bool rng then hi else Compass_util.Rng.int_in rng (pos + 1) hi
+      in
+      walk ({ Partition.start_ = pos; stop } :: acc) stop
+  in
+  Partition.of_spans (walk [] 0)
+
+let render ?(cells = 32) t =
+  let m = size t in
+  let cells = min cells m in
+  let scale i = i * m / cells in
+  let cell r c =
+    (* Row = start bucket, column = end bucket (paper's (x_i, x_j) axes). *)
+    let a = scale r in
+    let b = min m (scale (c + 1)) in
+    if b <= a then ' ' else if b <= t.max_end_.(a) then '#' else '.'
+  in
+  Compass_util.Ascii_plot.heat_map
+    ~title:
+      (Printf.sprintf "validity map: %s on chip %s (M=%d, density %.2f)"
+         (Compass_nn.Graph.name t.units.Unit_gen.model)
+         t.units.Unit_gen.chip.Compass_arch.Config.label m (density t))
+    ~render_cell:cell ~rows:cells ~cols:cells

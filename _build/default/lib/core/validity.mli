@@ -1,0 +1,42 @@
+(** Partition validity map (paper Sec. III-B1, Fig. 5).
+
+    For each start position [a], the map records the largest end [b] such
+    that every span [\[a, b')] with [b' <= b] fits the chip at replication 1
+    (total tile budget and core bin-packing both satisfied).  Random
+    partition generation draws end positions only inside the valid range,
+    guaranteeing every generated chromosome is feasible. *)
+
+type t
+
+val build : Unit_gen.t -> t
+
+val units : t -> Unit_gen.t
+
+val size : t -> int
+(** Number of partition units [M]. *)
+
+val max_end : t -> int -> int
+(** [max_end t a] for [0 <= a < size t]; always [> a] since a unit fits a
+    core by construction. *)
+
+val is_valid : t -> start_:int -> stop:int -> bool
+(** True iff [start_ < stop <= max_end t start_]. *)
+
+val group_valid : t -> Partition.t -> bool
+(** Every partition of the group is valid and the group covers
+    [\[0, size t)]. *)
+
+val density : t -> float
+(** Fraction of [(a, b)] pairs with [a < b] that are valid — the "valid
+    portion" the paper shows shrinking for larger models on smaller
+    chips. *)
+
+val random_group : Compass_util.Rng.t -> t -> Partition.t
+(** Draw a uniformly-covering valid partition group: walk from 0, choosing
+    each partition end within the valid range (biased towards larger
+    partitions, matching the paper's observation that initial populations
+    start with few partitions). *)
+
+val render : ?cells:int -> t -> string
+(** ASCII heat map ([cells] x [cells], default 32): ['#'] valid span,
+    ['.'] invalid, [' '] below the diagonal. *)

@@ -1,0 +1,1 @@
+lib/dram/dram.ml: Compass_util Controller Format Timing Units

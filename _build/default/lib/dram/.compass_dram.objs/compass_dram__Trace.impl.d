@@ -1,0 +1,1 @@
+lib/dram/trace.ml: Format List String

@@ -1,0 +1,1 @@
+lib/dram/trace.mli: Format

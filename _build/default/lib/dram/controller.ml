@@ -1,0 +1,155 @@
+type address_mapping =
+  | Row_interleaved
+  | Bank_interleaved
+
+type energy_model = {
+  activate_j : float;
+  read_burst_j : float;
+  write_burst_j : float;
+  refresh_j : float;
+  background_w : float;
+}
+
+let default_energy =
+  {
+    activate_j = 2e-9;
+    read_burst_j = 9e-9;
+    write_burst_j = 10e-9;
+    refresh_j = 50e-9;
+    background_w = 0.1;
+  }
+
+type stats = {
+  cycles : int;
+  seconds : float;
+  bytes : float;
+  reads : int;
+  writes : int;
+  row_hits : int;
+  row_misses : int;
+  activates : int;
+  refreshes : int;
+  energy_j : float;
+  background_j : float;
+}
+
+let row_hit_rate s =
+  let total = s.row_hits + s.row_misses in
+  if total = 0 then 0. else float_of_int s.row_hits /. float_of_int total
+
+let effective_bandwidth s = if s.seconds <= 0. then 0. else s.bytes /. s.seconds
+
+type cursor = {
+  timing : Timing.t;
+  mapping : address_mapping;
+  banks : Bank.t array;
+  mutable now : int;  (* command-issue cursor *)
+  mutable data_bus_free : int;
+  mutable last_data_end : int;
+  mutable next_refresh : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable row_hits : int;
+  mutable row_misses : int;
+  mutable activates : int;
+  mutable refreshes : int;
+}
+
+let create_cursor timing mapping =
+  {
+    timing;
+    mapping;
+    banks = Array.init timing.Timing.banks (fun _ -> Bank.create timing);
+    now = 0;
+    data_bus_free = 0;
+    last_data_end = 0;
+    next_refresh = timing.Timing.trefi;
+    reads = 0;
+    writes = 0;
+    row_hits = 0;
+    row_misses = 0;
+    activates = 0;
+    refreshes = 0;
+  }
+
+(* Address mapping policies (DRAMsim3's address-mapping strings). *)
+let locate cur burst_index =
+  let g = cur.timing in
+  let row_bursts = g.Timing.row_bytes / Timing.burst_bytes g in
+  match cur.mapping with
+  | Row_interleaved ->
+    (* Sequential bursts stream across a 2 KB row, then move to the next
+       bank; rows change only every banks*row_bursts bursts. *)
+    let bank = burst_index / row_bursts mod g.Timing.banks in
+    let row = burst_index / (row_bursts * g.Timing.banks) in
+    (bank, row)
+  | Bank_interleaved ->
+    (* Consecutive bursts rotate across banks; each bank still fills its
+       row before advancing. *)
+    let bank = burst_index mod g.Timing.banks in
+    let within_bank = burst_index / g.Timing.banks in
+    let row = within_bank / row_bursts in
+    (bank, row)
+
+let refresh_if_due cur =
+  let g = cur.timing in
+  if cur.now >= cur.next_refresh then begin
+    let until = cur.next_refresh + g.Timing.trfc in
+    Array.iter (fun b -> Bank.block_until b until) cur.banks;
+    cur.refreshes <- cur.refreshes + 1;
+    cur.next_refresh <- cur.next_refresh + g.Timing.trefi
+  end
+
+let burst cur ~bank ~row ~write =
+  refresh_if_due cur;
+  let g = cur.timing in
+  let outcome = Bank.access cur.banks.(bank) ~now:cur.now ~row ~write in
+  if outcome.Bank.row_hit then cur.row_hits <- cur.row_hits + 1
+  else cur.row_misses <- cur.row_misses + 1;
+  if outcome.Bank.activated then cur.activates <- cur.activates + 1;
+  if write then cur.writes <- cur.writes + 1 else cur.reads <- cur.reads + 1;
+  let data_start = max outcome.Bank.data_cycle cur.data_bus_free in
+  let data_end = data_start + Timing.burst_cycles g in
+  cur.data_bus_free <- data_end;
+  cur.last_data_end <- max cur.last_data_end data_end;
+  (* Next command may issue while this data moves; banks stay the limiter. *)
+  cur.now <- max cur.now outcome.Bank.issue_cycle
+
+let run ?(timing = Timing.lpddr3_1600) ?(energy = default_energy)
+    ?(mapping = Row_interleaved) records =
+  let cur = create_cursor timing mapping in
+  let burst_sz = Timing.burst_bytes timing in
+  let replay (r : Trace.record) =
+    if float_of_int (r.Trace.addr + r.Trace.bytes) > timing.Timing.capacity_bytes then
+      invalid_arg "Controller.run: record beyond device capacity";
+    let first = r.Trace.addr / burst_sz in
+    let last = (r.Trace.addr + r.Trace.bytes - 1) / burst_sz in
+    for b = first to last do
+      let bank, row = locate cur b in
+      burst cur ~bank ~row ~write:(r.Trace.kind = Trace.Write)
+    done
+  in
+  List.iter replay records;
+  let cycles = cur.last_data_end in
+  let seconds = Timing.cycles_to_seconds timing cycles in
+  let bytes = Trace.total_bytes records in
+  let dynamic =
+    (float_of_int cur.activates *. energy.activate_j)
+    +. (float_of_int cur.reads *. energy.read_burst_j)
+    +. (float_of_int cur.writes *. energy.write_burst_j)
+    +. (float_of_int cur.refreshes *. energy.refresh_j)
+  in
+  let background_j = seconds *. energy.background_w in
+  {
+    cycles;
+    seconds;
+    bytes;
+    reads = cur.reads;
+    writes = cur.writes;
+    row_hits = cur.row_hits;
+    row_misses = cur.row_misses;
+    activates = cur.activates;
+    refreshes = cur.refreshes;
+    energy_j = dynamic +. background_j;
+    background_j;
+  }

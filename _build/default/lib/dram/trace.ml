@@ -1,0 +1,62 @@
+type kind =
+  | Read
+  | Write
+
+type record = {
+  kind : kind;
+  addr : int;
+  bytes : int;
+  tag : string;
+}
+
+let make kind ?(tag = "") ~addr ~bytes () =
+  if addr < 0 then invalid_arg "Trace: negative address";
+  if bytes <= 0 then invalid_arg "Trace: non-positive size";
+  { kind; addr; bytes; tag }
+
+let read = make Read
+let write = make Write
+
+let sum_by pred records =
+  List.fold_left
+    (fun acc r -> if pred r.kind then acc +. float_of_int r.bytes else acc)
+    0. records
+
+let total_bytes records = sum_by (fun _ -> true) records
+let read_bytes records = sum_by (fun k -> k = Read) records
+let write_bytes records = sum_by (fun k -> k = Write) records
+
+let pp_record ppf r =
+  Format.fprintf ppf "0x%08x %s %d %s" r.addr
+    (match r.kind with Read -> "READ" | Write -> "WRITE")
+    r.bytes r.tag
+
+let to_lines records =
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_record) records)
+
+let of_lines text =
+  let parse_line line =
+    let trimmed = String.trim line in
+    if trimmed = "" || trimmed.[0] = '#' then Ok None
+    else
+      match String.split_on_char ' ' trimmed |> List.filter (fun w -> w <> "") with
+      | addr_s :: kind_s :: bytes_s :: rest -> (
+        let tag = String.concat " " rest in
+        match (int_of_string_opt addr_s, int_of_string_opt bytes_s) with
+        | Some addr, Some bytes when addr >= 0 && bytes > 0 -> (
+          match String.uppercase_ascii kind_s with
+          | "READ" -> Ok (Some (read ~tag ~addr ~bytes ()))
+          | "WRITE" -> Ok (Some (write ~tag ~addr ~bytes ()))
+          | _ -> Error line)
+        | _ -> Error line)
+      | _ -> Error line
+  in
+  let rec walk acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok (Some r) -> walk (r :: acc) rest
+      | Ok None -> walk acc rest
+      | Error l -> Error l)
+  in
+  walk [] (String.split_on_char '\n' text)

@@ -1,0 +1,1 @@
+lib/isa/sim.ml: Compass_arch Compass_dram Config Crossbar Energy Hashtbl Instr Interconnect List Program Queue

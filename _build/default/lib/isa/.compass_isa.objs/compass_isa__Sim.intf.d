@@ -1,0 +1,1 @@
+lib/isa/sim.mli: Compass_arch Compass_dram Program

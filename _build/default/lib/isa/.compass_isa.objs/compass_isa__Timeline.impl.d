@@ -1,0 +1,1 @@
+lib/isa/timeline.ml: Array Compass_util Hashtbl List Option Printf Sim String

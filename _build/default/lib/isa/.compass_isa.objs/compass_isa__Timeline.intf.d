@@ -1,0 +1,1 @@
+lib/isa/timeline.mli: Sim

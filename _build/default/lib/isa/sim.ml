@@ -1,0 +1,248 @@
+open Compass_arch
+
+type event = {
+  core : int;
+  label : string;
+  start_s : float;
+  finish_s : float;
+}
+
+type result = {
+  makespan_s : float;
+  core_finish_s : (int * float) list;
+  bus_busy_s : float;
+  dram_trace : Compass_dram.Trace.record list;
+  mvm_macro_ops : float;
+  vfu_ops : float;
+  weight_bytes : float;
+  load_bytes : float;
+  store_bytes : float;
+  energy_components : (string * float) list;
+  energy_j : float;
+  events : event list;
+}
+
+exception Deadlock of string
+
+let label_of = function
+  | Instr.Weight_write _ -> "weight_write"
+  | Instr.Load _ -> "load"
+  | Instr.Store _ -> "store"
+  | Instr.Mvm _ -> "mvm"
+  | Instr.Vfu _ -> "vfu"
+  | Instr.Send _ -> "send"
+  | Instr.Recv _ -> "recv"
+  | Instr.Sync _ -> "sync"
+
+type core_state = {
+  id : int;
+  mutable time : float;
+  mutable rest : Instr.t list;
+}
+
+type barrier = {
+  mutable arrived : (int * float) list;
+  mutable released : float option;
+}
+
+type shared = {
+  chip : Config.chip;
+  mutable bus_free : float;
+  mutable bus_busy : float;
+  mutable dram_free : float;
+  channels : (int * int * int, float Queue.t) Hashtbl.t; (* channel, src, dst *)
+  barriers : (int, barrier) Hashtbl.t;
+  mutable trace_rev : Compass_dram.Trace.record list;
+  mutable mvm_macro_ops : float;
+  mutable vfu_ops : float;
+  mutable weight_bytes : float;
+  mutable load_bytes : float;
+  mutable store_bytes : float;
+}
+
+(* Acquire the bus at or after [t] for a transfer of [bytes]; returns the
+   grant time and transfer duration. *)
+let bus_acquire shared ~t ~bytes =
+  let grant = max t shared.bus_free in
+  let dur = Interconnect.transfer_time_s shared.chip.Config.bus ~bytes in
+  shared.bus_free <- grant +. dur;
+  shared.bus_busy <- shared.bus_busy +. dur;
+  (grant, dur)
+
+(* A bus + DRAM transfer: the two resources pipeline for one request but
+   each serializes across requests, so a transfer occupies both cursors. *)
+let external_transfer shared ~t ~bytes ~addr ~tag ~is_store =
+  let record =
+    if is_store then Compass_dram.Trace.write ~tag ~addr ~bytes:(int_of_float bytes) ()
+    else Compass_dram.Trace.read ~tag ~addr ~bytes:(int_of_float bytes) ()
+  in
+  shared.trace_rev <- record :: shared.trace_rev;
+  let grant, bus_dur = bus_acquire shared ~t ~bytes in
+  let dram_dur = Compass_dram.Dram.analytic_seconds bytes in
+  let dram_grant = max grant shared.dram_free in
+  let dram_done = dram_grant +. dram_dur in
+  shared.dram_free <- dram_done;
+  max (grant +. bus_dur) dram_done
+
+type step =
+  | Done of float
+  | Blocked
+
+let execute shared core instr =
+  let chip = shared.chip in
+  let xbar = chip.Config.crossbar in
+  match instr with
+  | Instr.Weight_write { macro_count; bytes; addr; tag } ->
+    (* Replica-only writers fetch nothing (broadcast): program time only. *)
+    let fetched =
+      if bytes >= 1. then begin
+        shared.weight_bytes <- shared.weight_bytes +. bytes;
+        external_transfer shared ~t:core.time ~bytes ~addr ~tag ~is_store:false
+      end
+      else core.time
+    in
+    (* Row programming streams behind the fetch; macros of a core program
+       serially, so the drain is the full per-macro write time. *)
+    let program = float_of_int macro_count *. Crossbar.write_latency_s xbar in
+    Done (max fetched (core.time +. program))
+  | Instr.Load { bytes; addr; tag } ->
+    if bytes < 1. then Done core.time
+    else begin
+      shared.load_bytes <- shared.load_bytes +. bytes;
+      Done (external_transfer shared ~t:core.time ~bytes ~addr ~tag ~is_store:false)
+    end
+  | Instr.Store { bytes; addr; tag } ->
+    if bytes < 1. then Done core.time
+    else begin
+      shared.store_bytes <- shared.store_bytes +. bytes;
+      Done (external_transfer shared ~t:core.time ~bytes ~addr ~tag ~is_store:true)
+    end
+  | Instr.Mvm { count; tiles; tag = _ } ->
+    if count < 0 || tiles <= 0 then invalid_arg "Sim: bad mvm payload";
+    shared.mvm_macro_ops <- shared.mvm_macro_ops +. float_of_int (count * tiles);
+    Done (core.time +. (float_of_int count *. xbar.Crossbar.mvm_latency_s))
+  | Instr.Vfu { ops } ->
+    if ops < 0 then invalid_arg "Sim: negative vfu ops";
+    shared.vfu_ops <- shared.vfu_ops +. float_of_int ops;
+    let lanes = float_of_int chip.Config.core.Config.vfus_per_core in
+    let cycles = float_of_int ops /. lanes in
+    Done (core.time +. (cycles /. chip.Config.core.Config.clock_hz))
+  | Instr.Send { bytes; dst; channel } ->
+    let grant, dur = bus_acquire shared ~t:core.time ~bytes in
+    let arrival = grant +. dur in
+    let key = (channel, core.id, dst) in
+    let q =
+      match Hashtbl.find_opt shared.channels key with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add shared.channels key q;
+        q
+    in
+    Queue.add arrival q;
+    Done arrival
+  | Instr.Recv { bytes = _; src; channel } -> (
+    let key = (channel, src, core.id) in
+    match Hashtbl.find_opt shared.channels key with
+    | Some q when not (Queue.is_empty q) ->
+      let arrival = Queue.pop q in
+      Done (max core.time arrival)
+    | Some _ | None -> Blocked)
+  | Instr.Sync { token; parties } -> (
+    let b =
+      match Hashtbl.find_opt shared.barriers token with
+      | Some b -> b
+      | None ->
+        let b = { arrived = []; released = None } in
+        Hashtbl.add shared.barriers token b;
+        b
+    in
+    match b.released with
+    | Some release -> Done (max core.time release)
+    | None ->
+      if not (List.mem_assoc core.id b.arrived) then
+        b.arrived <- (core.id, core.time) :: b.arrived;
+      if List.length b.arrived >= parties then begin
+        let release = List.fold_left (fun acc (_, t) -> max acc t) 0. b.arrived in
+        b.released <- Some release;
+        Done (max core.time release)
+      end
+      else Blocked)
+
+let run chip programs =
+  (match Program.validate ~cores:chip.Config.cores programs with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Sim.run: " ^ msg));
+  let shared =
+    {
+      chip;
+      bus_free = 0.;
+      bus_busy = 0.;
+      dram_free = 0.;
+      channels = Hashtbl.create 64;
+      barriers = Hashtbl.create 16;
+      trace_rev = [];
+      mvm_macro_ops = 0.;
+      vfu_ops = 0.;
+      weight_bytes = 0.;
+      load_bytes = 0.;
+      store_bytes = 0.;
+    }
+  in
+  let cores =
+    List.map (fun p -> { id = p.Program.core_id; time = 0.; rest = p.Program.instrs }) programs
+  in
+  let events_rev = ref [] in
+  let pending () = List.filter (fun c -> c.rest <> []) cores in
+  let rec drain () =
+    match pending () with
+    | [] -> ()
+    | alive ->
+      (* Try cores in local-time order; the earliest runnable one executes. *)
+      let by_time = List.sort (fun a b -> compare a.time b.time) alive in
+      let rec attempt = function
+        | [] -> raise (Deadlock "no core can make progress")
+        | core :: others -> (
+          match core.rest with
+          | [] -> attempt others
+          | instr :: rest -> (
+            match execute shared core instr with
+            | Done t ->
+              events_rev :=
+                { core = core.id; label = label_of instr; start_s = core.time; finish_s = t }
+                :: !events_rev;
+              core.time <- t;
+              core.rest <- rest
+            | Blocked -> attempt others))
+      in
+      attempt by_time;
+      drain ()
+  in
+  drain ();
+  let makespan = List.fold_left (fun acc c -> max acc c.time) 0. cores in
+  let dram_trace = List.rev shared.trace_rev in
+  let dram_bytes = shared.weight_bytes +. shared.load_bytes +. shared.store_bytes in
+  let components =
+    [
+      ("mvm", Energy.mvm_j chip ~macro_ops:shared.mvm_macro_ops);
+      ("vfu", Energy.vfu_j chip ~ops:shared.vfu_ops);
+      ("weight_program", Energy.weight_write_j chip ~bytes:shared.weight_bytes);
+      ("bus", Energy.bus_j chip ~bytes:dram_bytes);
+      ("dram", Energy.dram_j chip ~bytes:dram_bytes);
+      ("static", Energy.static_j chip ~seconds:makespan);
+    ]
+  in
+  {
+    makespan_s = makespan;
+    core_finish_s = List.map (fun c -> (c.id, c.time)) cores;
+    bus_busy_s = shared.bus_busy;
+    dram_trace;
+    mvm_macro_ops = shared.mvm_macro_ops;
+    vfu_ops = shared.vfu_ops;
+    weight_bytes = shared.weight_bytes;
+    load_bytes = shared.load_bytes;
+    store_bytes = shared.store_bytes;
+    energy_components = components;
+    energy_j = List.fold_left (fun acc (_, v) -> acc +. v) 0. components;
+    events = List.rev !events_rev;
+  }

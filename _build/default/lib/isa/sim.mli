@@ -1,0 +1,49 @@
+(** Event-driven chip simulator.
+
+    Executes one program per core against the shared bus and the external
+    memory channel.  Timing model:
+
+    - each core runs its instruction list in order;
+    - bus transfers (weight fetches, activation loads/stores, sends) are
+      serialized on the shared bus in grant order;
+    - external memory behaves as the analytic streaming model during
+      simulation; the emitted bulk trace can be replayed through
+      [Compass_dram.Dram.simulate] for bank-accurate statistics;
+    - [Recv] blocks until the matching [Send] has delivered; [Sync] is a
+      counted barrier.
+
+    The simulator is the ground truth the analytic estimator is validated
+    against in tests. *)
+
+type event = {
+  core : int;
+  label : string;  (** Instruction kind, e.g. ["mvm"], ["weight_write"]. *)
+  start_s : float;
+  finish_s : float;
+}
+
+type result = {
+  makespan_s : float;  (** Last core finish time. *)
+  core_finish_s : (int * float) list;  (** Per-core completion times. *)
+  bus_busy_s : float;  (** Accumulated bus occupancy. *)
+  dram_trace : Compass_dram.Trace.record list;  (** In issue order. *)
+  mvm_macro_ops : float;  (** Crossbar-array operations executed. *)
+  vfu_ops : float;
+  weight_bytes : float;
+  load_bytes : float;
+  store_bytes : float;
+  energy_components : (string * float) list;
+      (** Labelled: mvm, vfu, weight_program, bus, dram, static. *)
+  energy_j : float;
+  events : event list;
+      (** Per-instruction execution intervals in dispatch order; feeds the
+          timeline renderer. *)
+}
+
+exception Deadlock of string
+(** Raised when no core can make progress (mismatched send/recv or a
+    barrier that can never fill). *)
+
+val run : Compass_arch.Config.chip -> Program.t list -> result
+(** Raises [Deadlock] on communication errors and [Invalid_argument] when
+    [Program.validate] fails. *)

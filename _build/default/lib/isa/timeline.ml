@@ -1,0 +1,63 @@
+let glyph = function
+  | "weight_write" -> 'W'
+  | "mvm" -> 'M'
+  | "vfu" -> 'V'
+  | "load" -> 'L'
+  | "store" -> 'S'
+  | "send" -> '>'
+  | "recv" -> '<'
+  | _ -> '.'
+
+(* Rank when several activities land in one bucket: compute wins. *)
+let rank = function
+  | 'M' -> 6
+  | 'W' -> 5
+  | 'V' -> 4
+  | 'L' | 'S' -> 3
+  | '>' | '<' -> 2
+  | _ -> 1
+
+let render ?(width = 72) (sim : Sim.result) =
+  if sim.Sim.makespan_s <= 0. then "(empty timeline)"
+  else begin
+    let cores =
+      List.sort_uniq compare (List.map (fun e -> e.Sim.core) sim.Sim.events)
+    in
+    let rows = Hashtbl.create 16 in
+    List.iter (fun c -> Hashtbl.add rows c (Array.make width ' ')) cores;
+    let bucket t =
+      max 0 (min (width - 1) (int_of_float (t /. sim.Sim.makespan_s *. float_of_int width)))
+    in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt rows e.Sim.core with
+        | None -> ()
+        | Some row ->
+          let g = glyph e.Sim.label in
+          for b = bucket e.Sim.start_s to bucket e.Sim.finish_s do
+            if rank g > rank row.(b) then row.(b) <- g
+          done)
+      sim.Sim.events;
+    let line c =
+      Printf.sprintf "core %2d |%s|" c (String.init width (Array.get (Hashtbl.find rows c)))
+    in
+    String.concat "\n"
+      ((Printf.sprintf "timeline over %s (W=write M=mvm V=vfu L/S=io >/<=bus .=sync)"
+          (Compass_util.Units.time_to_string sim.Sim.makespan_s))
+      :: List.map line cores)
+  end
+
+let core_utilization (sim : Sim.result) =
+  let busy = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.Sim.label = "mvm" || e.Sim.label = "vfu" then
+        Hashtbl.replace busy e.Sim.core
+          ((e.Sim.finish_s -. e.Sim.start_s)
+          +. Option.value ~default:0. (Hashtbl.find_opt busy e.Sim.core)))
+    sim.Sim.events;
+  List.map
+    (fun (c, _) ->
+      let b = Option.value ~default:0. (Hashtbl.find_opt busy c) in
+      (c, if sim.Sim.makespan_s > 0. then b /. sim.Sim.makespan_s else 0.))
+    (List.sort compare sim.Sim.core_finish_s)

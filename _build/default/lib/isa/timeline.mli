@@ -1,0 +1,17 @@
+(** ASCII Gantt rendering of a simulation's per-core activity.
+
+    One row per core, time bucketed across the makespan; each bucket shows
+    the activity that dominated it:
+
+    ['W'] weight write, ['M'] matrix unit, ['V'] vector unit, ['L'] load,
+    ['S'] store, ['>'] send, ['<'] recv (stall), ['.'] barrier/idle.
+
+    The weight-replacement phases of Fig. 2 — later partitions' writes
+    starting on cores that drained early — are directly visible. *)
+
+val render : ?width:int -> Sim.result -> string
+(** [render sim] draws the timeline ([width] buckets, default 72). *)
+
+val core_utilization : Sim.result -> (int * float) list
+(** Per core: fraction of the makespan spent on compute (mvm + vfu), in
+    core-id order. *)

@@ -1,0 +1,1 @@
+lib/nn/executor.ml: Array Compass_util Graph Hashtbl Layer List Printf Shape Tensor

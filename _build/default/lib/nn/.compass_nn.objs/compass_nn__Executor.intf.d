@@ -1,0 +1,1 @@
+lib/nn/executor.mli: Graph Hashtbl Tensor

@@ -1,0 +1,1 @@
+lib/nn/graph.ml: Array Buffer Format Layer List Printf Queue Shape

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Format List Option Printf Shape

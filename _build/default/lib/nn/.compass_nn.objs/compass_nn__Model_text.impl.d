@@ -1,0 +1,1 @@
+lib/nn/model_text.ml: Graph Hashtbl Layer List Option Printf Shape String

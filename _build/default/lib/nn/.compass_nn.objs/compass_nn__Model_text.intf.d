@@ -1,0 +1,1 @@
+lib/nn/model_text.mli: Graph

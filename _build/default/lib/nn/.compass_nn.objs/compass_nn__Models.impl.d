@@ -1,0 +1,1 @@
+lib/nn/models.ml: Graph Layer List Printf Shape String

@@ -1,0 +1,1 @@
+lib/nn/shape.mli: Format

@@ -1,0 +1,1 @@
+lib/nn/summary.ml: Compass_util Graph Layer List Printf Shape Table

@@ -1,0 +1,1 @@
+lib/nn/summary.mli: Compass_util Graph

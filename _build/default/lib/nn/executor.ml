@@ -1,0 +1,77 @@
+type weights = (Graph.node, float array) Hashtbl.t
+
+let random_weights ?(seed = 7) ?(scale = 0.1) g =
+  let rng = Compass_util.Rng.create seed in
+  let weights = Hashtbl.create 32 in
+  List.iter
+    (fun node ->
+      let n = Layer.weight_params (Graph.layer g node).Layer.op in
+      let data =
+        Array.init n (fun _ -> Compass_util.Rng.float rng (2. *. scale) -. scale)
+      in
+      Hashtbl.add weights node data)
+    (Graph.weighted_nodes g);
+  weights
+
+let random_input ?(seed = 11) g =
+  match Graph.entry_nodes g with
+  | [ input ] ->
+    let rng = Compass_util.Rng.create seed in
+    Tensor.create (Graph.shape_of g input) (fun _ -> Compass_util.Rng.float rng 1.)
+  | _ -> invalid_arg "Executor.random_input: expected exactly one input"
+
+let weights_of weights node =
+  match Hashtbl.find_opt weights node with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Executor: missing weights for node %d" node)
+
+let apply_node g weights node inputs =
+  let one () =
+    match inputs with
+    | [ t ] -> t
+    | _ -> invalid_arg "Executor.apply_node: arity"
+  in
+  match (Graph.layer g node).Layer.op with
+  | Layer.Input _ -> invalid_arg "Executor.apply_node: Input has no computation"
+  | Layer.Conv conv -> Tensor.conv2d conv ~weights:(weights_of weights node) (one ())
+  | Layer.Linear { in_features; out_features } ->
+    Tensor.linear ~in_features ~out_features ~weights:(weights_of weights node) (one ())
+  | Layer.Pool { kind = Layer.Max; kernel; stride; padding } ->
+    Tensor.max_pool ~kernel ~stride ~padding (one ())
+  | Layer.Pool { kind = Layer.Avg; kernel; stride; padding } ->
+    Tensor.avg_pool ~kernel ~stride ~padding (one ())
+  | Layer.Global_avg_pool -> Tensor.global_avg_pool (one ())
+  | Layer.Relu -> Tensor.relu (one ())
+  | Layer.Batch_norm | Layer.Dropout -> one ()
+  | Layer.Add -> (
+    match inputs with
+    | [ a; b ] -> Tensor.add a b
+    | _ -> invalid_arg "Executor.apply_node: Add arity")
+  | Layer.Concat -> Tensor.concat inputs
+  | Layer.Flatten -> Tensor.flatten (one ())
+
+let run g weights input =
+  let outputs : (Graph.node, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun node ->
+      let result =
+        match (Graph.layer g node).Layer.op with
+        | Layer.Input shape ->
+          if not (Shape.equal shape (Tensor.shape input)) then
+            invalid_arg "Executor.run: input shape mismatch";
+          input
+        | _ ->
+          let inputs = List.map (Hashtbl.find outputs) (Graph.preds g node) in
+          apply_node g weights node inputs
+      in
+      Hashtbl.add outputs node result)
+    (Graph.topo_order g);
+  fun node ->
+    match Hashtbl.find_opt outputs node with
+    | Some t -> t
+    | None -> invalid_arg "Executor.run: unknown node"
+
+let output g weights input =
+  match Graph.exit_nodes g with
+  | [ exit ] -> run g weights input exit
+  | _ -> invalid_arg "Executor.output: expected exactly one exit"

@@ -1,0 +1,32 @@
+(** Reference (functional) execution of model graphs.
+
+    Runs a graph on actual tensors with the operators in [Tensor] — the
+    oracle against which compiled, partitioned execution is validated
+    ([Compass_core.Partition_exec]).  Batch normalization and dropout are
+    inference-mode identities (folded scales are part of the conv weights
+    in deployed PIM networks). *)
+
+type weights = (Graph.node, float array) Hashtbl.t
+(** One weight array per Conv/Linear node, in [Tensor]'s layouts. *)
+
+val random_weights : ?seed:int -> ?scale:float -> Graph.t -> weights
+(** Deterministic pseudo-random weights in [[-scale, scale]] (default
+    scale 0.1) for every weighted node. *)
+
+val random_input : ?seed:int -> Graph.t -> Tensor.t
+(** A deterministic random tensor matching the graph's [Input] shape.
+    Raises [Invalid_argument] on graphs without exactly one input. *)
+
+val run : Graph.t -> weights -> Tensor.t -> (Graph.node -> Tensor.t)
+(** [run g weights input] executes the whole graph and returns a lookup of
+    every node's output tensor.  Raises [Invalid_argument] on missing
+    weights or shape violations (the latter cannot happen for validated
+    graphs). *)
+
+val output : Graph.t -> weights -> Tensor.t -> Tensor.t
+(** The unique exit node's tensor.  Raises [Invalid_argument] when the
+    graph has several exits. *)
+
+val apply_node : Graph.t -> weights -> Graph.node -> Tensor.t list -> Tensor.t
+(** Execute a single node given its ordered input tensors — the primitive
+    shared with the partitioned executor. *)

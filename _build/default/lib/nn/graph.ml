@@ -1,0 +1,182 @@
+type node = int
+
+type t = {
+  graph_name : string;
+  mutable layers : Layer.t array; (* grows; index = node id *)
+  mutable count : int;
+  mutable pred_edges : node list array; (* ordered producers *)
+  mutable succ_edges : node list array; (* reverse creation order, reversed on read *)
+  mutable shape_cache : Shape.t option array;
+}
+
+let initial_capacity = 16
+
+let create ?(name = "model") () =
+  {
+    graph_name = name;
+    layers = [||];
+    count = 0;
+    pred_edges = [||];
+    succ_edges = [||];
+    shape_cache = [||];
+  }
+
+let name t = t.graph_name
+
+let grow t =
+  let cap = Array.length t.layers in
+  if t.count >= cap then begin
+    let ncap = max initial_capacity (2 * cap) in
+    let dummy = { Layer.id = -1; name = ""; op = Layer.Relu } in
+    let resize default arr =
+      let fresh = Array.make ncap default in
+      Array.blit arr 0 fresh 0 cap;
+      fresh
+    in
+    t.layers <- resize dummy t.layers;
+    t.pred_edges <- resize [] t.pred_edges;
+    t.succ_edges <- resize [] t.succ_edges;
+    t.shape_cache <- resize None t.shape_cache
+  end
+
+let check_node t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Graph: unknown node %d (count %d)" id t.count)
+
+let layer t id =
+  check_node t id;
+  t.layers.(id)
+
+let preds t id =
+  check_node t id;
+  t.pred_edges.(id)
+
+let succs t id =
+  check_node t id;
+  List.rev t.succ_edges.(id)
+
+let node_count t = t.count
+
+let nodes t = List.init t.count (fun i -> i)
+
+let rec shape_of t id =
+  check_node t id;
+  match t.shape_cache.(id) with
+  | Some s -> s
+  | None ->
+    let inputs = List.map (shape_of t) t.pred_edges.(id) in
+    let s = Layer.output_shape t.layers.(id).Layer.op inputs in
+    t.shape_cache.(id) <- Some s;
+    s
+
+let input_shapes_of t id = List.map (shape_of t) (preds t id)
+
+let add t ?(inputs = []) layer_name op =
+  List.iter (check_node t) inputs;
+  grow t;
+  let id = t.count in
+  t.layers.(id) <- { Layer.id; name = layer_name; op };
+  t.pred_edges.(id) <- inputs;
+  t.count <- id + 1;
+  List.iter (fun p -> t.succ_edges.(p) <- id :: t.succ_edges.(p)) inputs;
+  (* Force shape inference now so inconsistent graphs fail at build site. *)
+  (try ignore (shape_of t id)
+   with e ->
+     (* Roll back the partial node before re-raising. *)
+     t.count <- id;
+     List.iter
+       (fun p -> t.succ_edges.(p) <- List.filter (fun s -> s <> id) t.succ_edges.(p))
+       inputs;
+     raise e);
+  id
+
+let entry_nodes t = List.filter (fun id -> preds t id = []) (nodes t)
+let exit_nodes t = List.filter (fun id -> succs t id = []) (nodes t)
+
+let topo_order t =
+  let indegree = Array.make t.count 0 in
+  List.iter (fun id -> indegree.(id) <- List.length (preds t id)) (nodes t);
+  let queue = Queue.create () in
+  Array.iteri (fun id d -> if d = 0 then Queue.add id queue) indegree;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr visited;
+    let relax s =
+      indegree.(s) <- indegree.(s) - 1;
+      if indegree.(s) = 0 then Queue.add s queue
+    in
+    List.iter relax (succs t id)
+  done;
+  if !visited <> t.count then invalid_arg "Graph.topo_order: cycle detected";
+  List.rev !order
+
+let weighted_nodes t =
+  List.filter (fun id -> Layer.is_weighted (layer t id).Layer.op) (topo_order t)
+
+let total_weight_params t =
+  List.fold_left (fun acc id -> acc + Layer.weight_params (layer t id).Layer.op) 0 (nodes t)
+
+let weight_bytes ~weight_bits t =
+  if weight_bits <= 0 then invalid_arg "Graph.weight_bytes: non-positive precision";
+  float_of_int (total_weight_params t) *. float_of_int weight_bits /. 8.
+
+let mvms_of t id = Layer.mvms_per_sample (layer t id).Layer.op (input_shapes_of t id)
+
+let vector_ops_of t id =
+  Layer.vector_ops_per_sample (layer t id).Layer.op (input_shapes_of t id)
+
+let validate t =
+  let check_edges id =
+    List.for_all (fun p -> p >= 0 && p < t.count) (preds t id)
+  in
+  if not (List.for_all check_edges (nodes t)) then Error "dangling edge"
+  else
+    let needs_inputs id =
+      match (layer t id).Layer.op with Layer.Input _ -> false | _ -> true
+    in
+    let orphan =
+      List.exists (fun id -> needs_inputs id && preds t id = []) (nodes t)
+    in
+    if orphan then Error "non-input node without predecessors"
+    else
+      match topo_order t with
+      | exception Invalid_argument msg -> Error msg
+      | _ -> (
+        match List.iter (fun id -> ignore (shape_of t id)) (nodes t) with
+        | () -> Ok ()
+        | exception Invalid_argument msg -> Error msg)
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=TB;\n" t.graph_name);
+  List.iter
+    (fun id ->
+      let l = layer t id in
+      let shade = if Layer.is_weighted l.Layer.op then ",style=filled,fillcolor=lightblue" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=box,label=\"%s\\n%s %s\"%s];\n" id l.Layer.name
+           (Layer.op_kind l.Layer.op)
+           (Shape.to_string (shape_of t id))
+           shade))
+    (nodes t);
+  List.iter
+    (fun id ->
+      List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p id)) (preds t id))
+    (nodes t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s (%d layers, %d weights)@." t.graph_name t.count
+    (total_weight_params t);
+  let line id =
+    let l = layer t id in
+    Format.fprintf ppf "  %3d %-12s %-8s out=%-12s params=%d@." id l.Layer.name
+      (Layer.op_kind l.Layer.op)
+      (Shape.to_string (shape_of t id))
+      (Layer.weight_params l.Layer.op)
+  in
+  List.iter line (nodes t)

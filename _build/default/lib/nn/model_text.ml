@@ -1,0 +1,267 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+(* --- lexical helpers --- *)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* "key=value" attribute lists. *)
+let parse_attrs line words =
+  List.map
+    (fun w ->
+      match String.index_opt w '=' with
+      | Some i ->
+        (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+      | None -> fail line "expected key=value, got %S" w)
+    words
+
+let int_attr line attrs key =
+  match List.assoc_opt key attrs with
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> Some n
+    | None -> fail line "attribute %s: %S is not an integer" key v)
+  | None -> None
+
+let require_int line attrs key =
+  match int_attr line attrs key with
+  | Some n -> n
+  | None -> fail line "missing attribute %s" key
+
+let known_attrs line attrs allowed =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then fail line "unknown attribute %s" k)
+    attrs
+
+let parse_shape line s =
+  let segments = String.split_on_char 'x' s in
+  let dims = List.filter_map int_of_string_opt segments in
+  if List.length dims <> List.length segments then
+    fail line "bad shape %S (expected CxHxW or N)" s;
+  match dims with
+  | [ c; h; w ] -> Shape.feature_map ~channels:c ~height:h ~width:w
+  | [ n ] -> Shape.vector n
+  | _ -> fail line "bad shape %S (expected CxHxW or N)" s
+
+(* --- statement parsing --- *)
+
+type statement = {
+  line : int;
+  op_name : string;
+  node_name : string;
+  producers : string list;
+  attrs : (string * string) list;
+}
+
+(* "<op> <name> [from p1 p2 ...] [k=v ...]" *)
+let parse_statement line text =
+  match split_words text with
+  | [] -> None
+  | op_name :: rest ->
+    let node_name, rest =
+      match rest with
+      | name :: rest -> (name, rest)
+      | [] -> fail line "operator %s needs a name" op_name
+    in
+    if op_name = "input" then
+      (* shapes like 1x28x28 are not key=value attributes *)
+      Some { line; op_name; node_name; producers = rest; attrs = [] }
+    else
+    let producers, attr_words =
+      match rest with
+      | "from" :: rest ->
+        let rec take acc = function
+          | w :: more when not (String.contains w '=') -> take (w :: acc) more
+          | more -> (List.rev acc, more)
+        in
+        take [] rest
+      | rest -> ([], rest)
+    in
+    Some { line; op_name; node_name; producers; attrs = parse_attrs line attr_words }
+
+let channels_of line g node =
+  match Graph.shape_of g node with
+  | Shape.Feature_map { channels; _ } -> channels
+  | Shape.Vector _ -> fail line "producer is a vector, expected a feature map"
+
+let features_of line g node =
+  match Graph.shape_of g node with
+  | Shape.Vector { features } -> features
+  | Shape.Feature_map _ -> fail line "producer is a feature map, expected a vector"
+
+let build_op st g inputs =
+  let line = st.line in
+  let one () =
+    match inputs with
+    | [ p ] -> p
+    | _ -> fail line "%s expects exactly one producer" st.op_name
+  in
+  let pool () =
+    known_attrs line st.attrs [ "kernel"; "stride"; "pad" ];
+    let kernel = require_int line st.attrs "kernel" in
+    let stride = Option.value ~default:kernel (int_attr line st.attrs "stride") in
+    let padding = Option.value ~default:0 (int_attr line st.attrs "pad") in
+    ignore (one ());
+    (kernel, stride, padding)
+  in
+  match st.op_name with
+  | "input" -> fail line "input handled separately"
+  | "conv" ->
+    known_attrs line st.attrs [ "out"; "kernel"; "stride"; "pad"; "groups" ];
+    let out_channels = require_int line st.attrs "out" in
+    let kernel = require_int line st.attrs "kernel" in
+    let stride = Option.value ~default:1 (int_attr line st.attrs "stride") in
+    let padding = Option.value ~default:(kernel / 2) (int_attr line st.attrs "pad") in
+    let groups = Option.value ~default:1 (int_attr line st.attrs "groups") in
+    let in_channels = channels_of line g (one ()) in
+    (try Layer.conv ~stride ~padding ~groups ~in_channels ~out_channels kernel
+     with Invalid_argument msg -> fail line "%s" msg)
+  | "depthwise" ->
+    known_attrs line st.attrs [ "kernel"; "stride"; "pad" ];
+    let kernel = require_int line st.attrs "kernel" in
+    let stride = Option.value ~default:1 (int_attr line st.attrs "stride") in
+    let padding = Option.value ~default:(kernel / 2) (int_attr line st.attrs "pad") in
+    let channels = channels_of line g (one ()) in
+    Layer.depthwise ~stride ~padding ~channels kernel
+  | "linear" ->
+    known_attrs line st.attrs [ "out" ];
+    let out_features = require_int line st.attrs "out" in
+    let in_features = features_of line g (one ()) in
+    Layer.linear ~in_features ~out_features
+  | "maxpool" ->
+    let kernel, stride, padding = pool () in
+    Layer.max_pool ~padding ~kernel ~stride ()
+  | "avgpool" ->
+    let kernel, stride, padding = pool () in
+    Layer.avg_pool ~padding ~kernel ~stride ()
+  | "relu" ->
+    ignore (one ());
+    Layer.Relu
+  | "bn" ->
+    ignore (one ());
+    Layer.Batch_norm
+  | "dropout" ->
+    ignore (one ());
+    Layer.Dropout
+  | "flatten" ->
+    ignore (one ());
+    Layer.Flatten
+  | "gap" ->
+    ignore (one ());
+    Layer.Global_avg_pool
+  | "add" ->
+    if List.length inputs <> 2 then fail line "add expects two producers";
+    Layer.Add
+  | "concat" ->
+    if List.length inputs < 2 then fail line "concat expects at least two producers";
+    Layer.Concat
+  | other -> fail line "unknown operator %s" other
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let g = ref None in
+  let names : (string, Graph.node) Hashtbl.t = Hashtbl.create 32 in
+  let graph line =
+    match !g with
+    | Some graph -> graph
+    | None ->
+      let graph = Graph.create () in
+      ignore line;
+      g := Some graph;
+      graph
+  in
+  let handle lineno raw =
+    let text = String.trim (strip_comment raw) in
+    if text <> "" then
+      match parse_statement lineno text with
+      | None -> ()
+      | Some st when st.op_name = "model" ->
+        if !g <> None then fail lineno "model declaration must come first";
+        g := Some (Graph.create ~name:st.node_name ())
+      | Some st ->
+        let graph = graph lineno in
+        if Hashtbl.mem names st.node_name then
+          fail lineno "duplicate node name %s" st.node_name;
+        let node =
+          if st.op_name = "input" then begin
+            match st.producers with
+            | [ shape ] ->
+              Graph.add graph st.node_name (Layer.Input (parse_shape lineno shape))
+            | _ -> fail lineno "input needs exactly one shape"
+          end
+          else begin
+            let inputs =
+              List.map
+                (fun p ->
+                  match Hashtbl.find_opt names p with
+                  | Some n -> n
+                  | None -> fail lineno "unknown producer %s" p)
+                st.producers
+            in
+            let op = build_op st graph inputs in
+            try Graph.add graph ~inputs st.node_name op
+            with Invalid_argument msg -> fail lineno "%s" msg
+          end
+        in
+        Hashtbl.add names st.node_name node
+  in
+  List.iteri (fun i raw -> handle (i + 1) raw) lines;
+  match !g with
+  | None -> raise (Parse_error (0, "empty description"))
+  | Some graph -> (
+    match Graph.validate graph with
+    | Ok () -> graph
+    | Error msg -> raise (Parse_error (0, "invalid model: " ^ msg)))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+(* --- printing --- *)
+
+let shape_token = function
+  | Shape.Feature_map { channels; height; width } ->
+    Printf.sprintf "%dx%dx%d" channels height width
+  | Shape.Vector { features } -> string_of_int features
+
+let op_line g node =
+  let l = Graph.layer g node in
+  let name = l.Layer.name in
+  let from =
+    match Graph.preds g node with
+    | [] -> ""
+    | ps -> " from " ^ String.concat " " (List.map (fun p -> (Graph.layer g p).Layer.name) ps)
+  in
+  match l.Layer.op with
+  | Layer.Input shape -> Printf.sprintf "input %s %s" name (shape_token shape)
+  | Layer.Conv { out_channels; kernel_h; stride; padding; groups; _ } ->
+    Printf.sprintf "conv %s%s out=%d kernel=%d stride=%d pad=%d groups=%d" name from
+      out_channels kernel_h stride padding groups
+  | Layer.Linear { out_features; _ } ->
+    Printf.sprintf "linear %s%s out=%d" name from out_features
+  | Layer.Pool { kind; kernel; stride; padding } ->
+    Printf.sprintf "%s %s%s kernel=%d stride=%d pad=%d"
+      (match kind with Layer.Max -> "maxpool" | Layer.Avg -> "avgpool")
+      name from kernel stride padding
+  | Layer.Global_avg_pool -> Printf.sprintf "gap %s%s" name from
+  | Layer.Batch_norm -> Printf.sprintf "bn %s%s" name from
+  | Layer.Relu -> Printf.sprintf "relu %s%s" name from
+  | Layer.Add -> Printf.sprintf "add %s%s" name from
+  | Layer.Concat -> Printf.sprintf "concat %s%s" name from
+  | Layer.Flatten -> Printf.sprintf "flatten %s%s" name from
+  | Layer.Dropout -> Printf.sprintf "dropout %s%s" name from
+
+let to_string g =
+  let header = Printf.sprintf "model %s" (Graph.name g) in
+  String.concat "\n" (header :: List.map (op_line g) (Graph.nodes g)) ^ "\n"

@@ -1,0 +1,421 @@
+let checked g =
+  match Graph.validate g with
+  | Ok () -> g
+  | Error msg -> invalid_arg (Printf.sprintf "Models: %s is invalid: %s" (Graph.name g) msg)
+
+let image_input g ~channels ~height ~width =
+  Graph.add g "input" (Layer.Input (Shape.feature_map ~channels ~height ~width))
+
+(* Conv + ReLU, the ubiquitous VGG/SqueezeNet building block. *)
+let conv_relu g ~inputs name ?stride ?padding ~in_channels ~out_channels k =
+  let c =
+    Graph.add g ~inputs name (Layer.conv ?stride ?padding ~in_channels ~out_channels k)
+  in
+  Graph.add g ~inputs:[ c ] (name ^ "_relu") Layer.Relu
+
+let vgg16 () =
+  let g = Graph.create ~name:"vgg16" () in
+  let x = ref (image_input g ~channels:3 ~height:224 ~width:224) in
+  let channels = ref 3 in
+  let block stage convs =
+    List.iteri
+      (fun i out_channels ->
+        let name = Printf.sprintf "conv%d_%d" stage (i + 1) in
+        x := conv_relu g ~inputs:[ !x ] name ~in_channels:!channels ~out_channels 3;
+        channels := out_channels)
+      convs;
+    x :=
+      Graph.add g ~inputs:[ !x ]
+        (Printf.sprintf "pool%d" stage)
+        (Layer.max_pool ~kernel:2 ~stride:2 ())
+  in
+  block 1 [ 64; 64 ];
+  block 2 [ 128; 128 ];
+  block 3 [ 256; 256; 256 ];
+  block 4 [ 512; 512; 512 ];
+  block 5 [ 512; 512; 512 ];
+  let flat = Graph.add g ~inputs:[ !x ] "flatten" Layer.Flatten in
+  let fc name inputs in_features out_features =
+    Graph.add g ~inputs name (Layer.linear ~in_features ~out_features)
+  in
+  let fc6 = fc "fc6" [ flat ] (512 * 7 * 7) 4096 in
+  let r6 = Graph.add g ~inputs:[ fc6 ] "fc6_relu" Layer.Relu in
+  let d6 = Graph.add g ~inputs:[ r6 ] "fc6_drop" Layer.Dropout in
+  let fc7 = fc "fc7" [ d6 ] 4096 4096 in
+  let r7 = Graph.add g ~inputs:[ fc7 ] "fc7_relu" Layer.Relu in
+  let d7 = Graph.add g ~inputs:[ r7 ] "fc7_drop" Layer.Dropout in
+  let _fc8 = fc "fc8" [ d7 ] 4096 1000 in
+  checked g
+
+let resnet18 () =
+  let g = Graph.create ~name:"resnet18" () in
+  let input = image_input g ~channels:3 ~height:224 ~width:224 in
+  let conv1 =
+    Graph.add g ~inputs:[ input ] "conv1"
+      (Layer.conv ~stride:2 ~padding:3 ~in_channels:3 ~out_channels:64 7)
+  in
+  let bn1 = Graph.add g ~inputs:[ conv1 ] "bn1" Layer.Batch_norm in
+  let relu1 = Graph.add g ~inputs:[ bn1 ] "relu1" Layer.Relu in
+  let pool1 =
+    Graph.add g ~inputs:[ relu1 ] "maxpool"
+      (Layer.max_pool ~padding:1 ~kernel:3 ~stride:2 ())
+  in
+  (* A basic block: two 3x3 convs with BN, an identity or 1x1-projection
+     shortcut, joined by Add then ReLU. *)
+  let basic_block name ~inputs ~in_channels ~out_channels ~stride =
+    let entry = inputs in
+    let c1 =
+      Graph.add g ~inputs:[ entry ] (name ^ "_conv1")
+        (Layer.conv ~stride ~padding:1 ~in_channels ~out_channels 3)
+    in
+    let b1 = Graph.add g ~inputs:[ c1 ] (name ^ "_bn1") Layer.Batch_norm in
+    let r1 = Graph.add g ~inputs:[ b1 ] (name ^ "_relu1") Layer.Relu in
+    let c2 =
+      Graph.add g ~inputs:[ r1 ] (name ^ "_conv2")
+        (Layer.conv ~stride:1 ~padding:1 ~in_channels:out_channels ~out_channels 3)
+    in
+    let b2 = Graph.add g ~inputs:[ c2 ] (name ^ "_bn2") Layer.Batch_norm in
+    let shortcut =
+      if stride = 1 && in_channels = out_channels then entry
+      else
+        let proj =
+          Graph.add g ~inputs:[ entry ] (name ^ "_down")
+            (Layer.conv ~stride ~padding:0 ~in_channels ~out_channels 1)
+        in
+        Graph.add g ~inputs:[ proj ] (name ^ "_down_bn") Layer.Batch_norm
+    in
+    let sum = Graph.add g ~inputs:[ b2; shortcut ] (name ^ "_add") Layer.Add in
+    Graph.add g ~inputs:[ sum ] (name ^ "_relu2") Layer.Relu
+  in
+  let stage idx ~inputs ~in_channels ~out_channels ~stride =
+    let b1 =
+      basic_block (Printf.sprintf "layer%d_0" idx) ~inputs ~in_channels ~out_channels
+        ~stride
+    in
+    basic_block
+      (Printf.sprintf "layer%d_1" idx)
+      ~inputs:b1 ~in_channels:out_channels ~out_channels ~stride:1
+  in
+  let s1 = stage 1 ~inputs:pool1 ~in_channels:64 ~out_channels:64 ~stride:1 in
+  let s2 = stage 2 ~inputs:s1 ~in_channels:64 ~out_channels:128 ~stride:2 in
+  let s3 = stage 3 ~inputs:s2 ~in_channels:128 ~out_channels:256 ~stride:2 in
+  let s4 = stage 4 ~inputs:s3 ~in_channels:256 ~out_channels:512 ~stride:2 in
+  let gap = Graph.add g ~inputs:[ s4 ] "avgpool" Layer.Global_avg_pool in
+  let _fc =
+    Graph.add g ~inputs:[ gap ] "fc" (Layer.linear ~in_features:512 ~out_features:1000)
+  in
+  checked g
+
+let squeezenet () =
+  let g = Graph.create ~name:"squeezenet" () in
+  let input = image_input g ~channels:3 ~height:224 ~width:224 in
+  let conv1 =
+    conv_relu g ~inputs:[ input ] "conv1" ~stride:2 ~padding:0 ~in_channels:3
+      ~out_channels:64 3
+  in
+  let pool1 =
+    Graph.add g ~inputs:[ conv1 ] "pool1" (Layer.max_pool ~kernel:3 ~stride:2 ())
+  in
+  let fire name ~inputs ~in_channels ~squeeze ~expand =
+    let s =
+      conv_relu g ~inputs:[ inputs ] (name ^ "_squeeze") ~padding:0 ~in_channels
+        ~out_channels:squeeze 1
+    in
+    let e1 =
+      conv_relu g ~inputs:[ s ] (name ^ "_expand1x1") ~padding:0 ~in_channels:squeeze
+        ~out_channels:expand 1
+    in
+    let e3 =
+      conv_relu g ~inputs:[ s ] (name ^ "_expand3x3") ~padding:1 ~in_channels:squeeze
+        ~out_channels:expand 3
+    in
+    Graph.add g ~inputs:[ e1; e3 ] (name ^ "_concat") Layer.Concat
+  in
+  let f2 = fire "fire2" ~inputs:pool1 ~in_channels:64 ~squeeze:16 ~expand:64 in
+  let f3 = fire "fire3" ~inputs:f2 ~in_channels:128 ~squeeze:16 ~expand:64 in
+  let pool3 =
+    Graph.add g ~inputs:[ f3 ] "pool3" (Layer.max_pool ~kernel:3 ~stride:2 ())
+  in
+  let f4 = fire "fire4" ~inputs:pool3 ~in_channels:128 ~squeeze:32 ~expand:128 in
+  let f5 = fire "fire5" ~inputs:f4 ~in_channels:256 ~squeeze:32 ~expand:128 in
+  let pool5 =
+    Graph.add g ~inputs:[ f5 ] "pool5" (Layer.max_pool ~kernel:3 ~stride:2 ())
+  in
+  let f6 = fire "fire6" ~inputs:pool5 ~in_channels:256 ~squeeze:48 ~expand:192 in
+  let f7 = fire "fire7" ~inputs:f6 ~in_channels:384 ~squeeze:48 ~expand:192 in
+  let f8 = fire "fire8" ~inputs:f7 ~in_channels:384 ~squeeze:64 ~expand:256 in
+  let f9 = fire "fire9" ~inputs:f8 ~in_channels:512 ~squeeze:64 ~expand:256 in
+  let drop = Graph.add g ~inputs:[ f9 ] "drop" Layer.Dropout in
+  let conv10 =
+    conv_relu g ~inputs:[ drop ] "conv10" ~padding:0 ~in_channels:512 ~out_channels:1000
+      1
+  in
+  let _gap = Graph.add g ~inputs:[ conv10 ] "gap" Layer.Global_avg_pool in
+  checked g
+
+let lenet5 () =
+  let g = Graph.create ~name:"lenet5" () in
+  let input = image_input g ~channels:1 ~height:28 ~width:28 in
+  let c1 =
+    conv_relu g ~inputs:[ input ] "conv1" ~padding:2 ~in_channels:1 ~out_channels:6 5
+  in
+  let p1 = Graph.add g ~inputs:[ c1 ] "pool1" (Layer.avg_pool ~kernel:2 ~stride:2 ()) in
+  let c2 =
+    conv_relu g ~inputs:[ p1 ] "conv2" ~padding:0 ~in_channels:6 ~out_channels:16 5
+  in
+  let p2 = Graph.add g ~inputs:[ c2 ] "pool2" (Layer.avg_pool ~kernel:2 ~stride:2 ()) in
+  let flat = Graph.add g ~inputs:[ p2 ] "flatten" Layer.Flatten in
+  let fc1 =
+    Graph.add g ~inputs:[ flat ] "fc1" (Layer.linear ~in_features:400 ~out_features:120)
+  in
+  let r1 = Graph.add g ~inputs:[ fc1 ] "fc1_relu" Layer.Relu in
+  let fc2 =
+    Graph.add g ~inputs:[ r1 ] "fc2" (Layer.linear ~in_features:120 ~out_features:84)
+  in
+  let r2 = Graph.add g ~inputs:[ fc2 ] "fc2_relu" Layer.Relu in
+  let _fc3 =
+    Graph.add g ~inputs:[ r2 ] "fc3" (Layer.linear ~in_features:84 ~out_features:10)
+  in
+  checked g
+
+let tiny_mlp () =
+  let g = Graph.create ~name:"tiny_mlp" () in
+  let input = Graph.add g "input" (Layer.Input (Shape.vector 256)) in
+  let fc1 =
+    Graph.add g ~inputs:[ input ] "fc1" (Layer.linear ~in_features:256 ~out_features:128)
+  in
+  let r1 = Graph.add g ~inputs:[ fc1 ] "fc1_relu" Layer.Relu in
+  let fc2 =
+    Graph.add g ~inputs:[ r1 ] "fc2" (Layer.linear ~in_features:128 ~out_features:64)
+  in
+  let r2 = Graph.add g ~inputs:[ fc2 ] "fc2_relu" Layer.Relu in
+  let _fc3 =
+    Graph.add g ~inputs:[ r2 ] "fc3" (Layer.linear ~in_features:64 ~out_features:10)
+  in
+  checked g
+
+let tiny_resnet () =
+  let g = Graph.create ~name:"tiny_resnet" () in
+  let input = image_input g ~channels:3 ~height:32 ~width:32 in
+  let stem =
+    conv_relu g ~inputs:[ input ] "stem" ~padding:1 ~in_channels:3 ~out_channels:16 3
+  in
+  let block name ~inputs ~channels =
+    let c1 =
+      Graph.add g ~inputs:[ inputs ] (name ^ "_conv1")
+        (Layer.conv ~padding:1 ~in_channels:channels ~out_channels:channels 3)
+    in
+    let r1 = Graph.add g ~inputs:[ c1 ] (name ^ "_relu1") Layer.Relu in
+    let c2 =
+      Graph.add g ~inputs:[ r1 ] (name ^ "_conv2")
+        (Layer.conv ~padding:1 ~in_channels:channels ~out_channels:channels 3)
+    in
+    let sum = Graph.add g ~inputs:[ c2; inputs ] (name ^ "_add") Layer.Add in
+    Graph.add g ~inputs:[ sum ] (name ^ "_relu2") Layer.Relu
+  in
+  let b1 = block "block1" ~inputs:stem ~channels:16 in
+  let down =
+    conv_relu g ~inputs:[ b1 ] "down" ~stride:2 ~padding:1 ~in_channels:16
+      ~out_channels:32 3
+  in
+  let b2 = block "block2" ~inputs:down ~channels:32 in
+  let gap = Graph.add g ~inputs:[ b2 ] "gap" Layer.Global_avg_pool in
+  let _fc =
+    Graph.add g ~inputs:[ gap ] "fc" (Layer.linear ~in_features:32 ~out_features:10)
+  in
+  checked g
+
+let alexnet () =
+  let g = Graph.create ~name:"alexnet" () in
+  let input = image_input g ~channels:3 ~height:224 ~width:224 in
+  let c1 =
+    conv_relu g ~inputs:[ input ] "conv1" ~stride:4 ~padding:2 ~in_channels:3
+      ~out_channels:96 11
+  in
+  let p1 = Graph.add g ~inputs:[ c1 ] "pool1" (Layer.max_pool ~kernel:3 ~stride:2 ()) in
+  let c2 =
+    conv_relu g ~inputs:[ p1 ] "conv2" ~padding:2 ~in_channels:96 ~out_channels:256 5
+  in
+  let p2 = Graph.add g ~inputs:[ c2 ] "pool2" (Layer.max_pool ~kernel:3 ~stride:2 ()) in
+  let c3 =
+    conv_relu g ~inputs:[ p2 ] "conv3" ~padding:1 ~in_channels:256 ~out_channels:384 3
+  in
+  let c4 =
+    conv_relu g ~inputs:[ c3 ] "conv4" ~padding:1 ~in_channels:384 ~out_channels:384 3
+  in
+  let c5 =
+    conv_relu g ~inputs:[ c4 ] "conv5" ~padding:1 ~in_channels:384 ~out_channels:256 3
+  in
+  let p5 = Graph.add g ~inputs:[ c5 ] "pool5" (Layer.max_pool ~kernel:3 ~stride:2 ()) in
+  let flat = Graph.add g ~inputs:[ p5 ] "flatten" Layer.Flatten in
+  let fc6 =
+    Graph.add g ~inputs:[ flat ] "fc6"
+      (Layer.linear ~in_features:(256 * 6 * 6) ~out_features:4096)
+  in
+  let r6 = Graph.add g ~inputs:[ fc6 ] "fc6_relu" Layer.Relu in
+  let d6 = Graph.add g ~inputs:[ r6 ] "fc6_drop" Layer.Dropout in
+  let fc7 =
+    Graph.add g ~inputs:[ d6 ] "fc7" (Layer.linear ~in_features:4096 ~out_features:4096)
+  in
+  let r7 = Graph.add g ~inputs:[ fc7 ] "fc7_relu" Layer.Relu in
+  let d7 = Graph.add g ~inputs:[ r7 ] "fc7_drop" Layer.Dropout in
+  let _fc8 =
+    Graph.add g ~inputs:[ d7 ] "fc8" (Layer.linear ~in_features:4096 ~out_features:1000)
+  in
+  checked g
+
+let vgg_variant ~name blocks =
+  let g = Graph.create ~name () in
+  let x = ref (image_input g ~channels:3 ~height:224 ~width:224) in
+  let channels = ref 3 in
+  List.iteri
+    (fun stage convs ->
+      List.iteri
+        (fun i out_channels ->
+          let layer_name = Printf.sprintf "conv%d_%d" (stage + 1) (i + 1) in
+          x := conv_relu g ~inputs:[ !x ] layer_name ~in_channels:!channels ~out_channels 3;
+          channels := out_channels)
+        convs;
+      x :=
+        Graph.add g ~inputs:[ !x ]
+          (Printf.sprintf "pool%d" (stage + 1))
+          (Layer.max_pool ~kernel:2 ~stride:2 ()))
+    blocks;
+  let flat = Graph.add g ~inputs:[ !x ] "flatten" Layer.Flatten in
+  let fc6 =
+    Graph.add g ~inputs:[ flat ] "fc6"
+      (Layer.linear ~in_features:(512 * 7 * 7) ~out_features:4096)
+  in
+  let r6 = Graph.add g ~inputs:[ fc6 ] "fc6_relu" Layer.Relu in
+  let fc7 =
+    Graph.add g ~inputs:[ r6 ] "fc7" (Layer.linear ~in_features:4096 ~out_features:4096)
+  in
+  let r7 = Graph.add g ~inputs:[ fc7 ] "fc7_relu" Layer.Relu in
+  let _fc8 =
+    Graph.add g ~inputs:[ r7 ] "fc8" (Layer.linear ~in_features:4096 ~out_features:1000)
+  in
+  checked g
+
+let vgg11 () = vgg_variant ~name:"vgg11" [ [ 64 ]; [ 128 ]; [ 256; 256 ]; [ 512; 512 ]; [ 512; 512 ] ]
+
+let resnet_variant ~name stage_blocks =
+  let g = Graph.create ~name () in
+  let input = image_input g ~channels:3 ~height:224 ~width:224 in
+  let conv1 =
+    Graph.add g ~inputs:[ input ] "conv1"
+      (Layer.conv ~stride:2 ~padding:3 ~in_channels:3 ~out_channels:64 7)
+  in
+  let bn1 = Graph.add g ~inputs:[ conv1 ] "bn1" Layer.Batch_norm in
+  let relu1 = Graph.add g ~inputs:[ bn1 ] "relu1" Layer.Relu in
+  let pool1 =
+    Graph.add g ~inputs:[ relu1 ] "maxpool"
+      (Layer.max_pool ~padding:1 ~kernel:3 ~stride:2 ())
+  in
+  let basic_block block_name ~inputs ~in_channels ~out_channels ~stride =
+    let entry = inputs in
+    let c1 =
+      Graph.add g ~inputs:[ entry ] (block_name ^ "_conv1")
+        (Layer.conv ~stride ~padding:1 ~in_channels ~out_channels 3)
+    in
+    let b1 = Graph.add g ~inputs:[ c1 ] (block_name ^ "_bn1") Layer.Batch_norm in
+    let r1 = Graph.add g ~inputs:[ b1 ] (block_name ^ "_relu1") Layer.Relu in
+    let c2 =
+      Graph.add g ~inputs:[ r1 ] (block_name ^ "_conv2")
+        (Layer.conv ~stride:1 ~padding:1 ~in_channels:out_channels ~out_channels 3)
+    in
+    let b2 = Graph.add g ~inputs:[ c2 ] (block_name ^ "_bn2") Layer.Batch_norm in
+    let shortcut =
+      if stride = 1 && in_channels = out_channels then entry
+      else
+        let proj =
+          Graph.add g ~inputs:[ entry ] (block_name ^ "_down")
+            (Layer.conv ~stride ~padding:0 ~in_channels ~out_channels 1)
+        in
+        Graph.add g ~inputs:[ proj ] (block_name ^ "_down_bn") Layer.Batch_norm
+    in
+    let sum = Graph.add g ~inputs:[ b2; shortcut ] (block_name ^ "_add") Layer.Add in
+    Graph.add g ~inputs:[ sum ] (block_name ^ "_relu2") Layer.Relu
+  in
+  let x = ref pool1 in
+  let channels = ref 64 in
+  List.iteri
+    (fun stage_idx (blocks, out_channels) ->
+      for b = 0 to blocks - 1 do
+        let stride = if stage_idx > 0 && b = 0 then 2 else 1 in
+        x :=
+          basic_block
+            (Printf.sprintf "layer%d_%d" (stage_idx + 1) b)
+            ~inputs:!x ~in_channels:!channels ~out_channels ~stride;
+        channels := out_channels
+      done)
+    stage_blocks;
+  let gap = Graph.add g ~inputs:[ !x ] "avgpool" Layer.Global_avg_pool in
+  let _fc =
+    Graph.add g ~inputs:[ gap ] "fc" (Layer.linear ~in_features:512 ~out_features:1000)
+  in
+  checked g
+
+let resnet34 () =
+  resnet_variant ~name:"resnet34" [ (3, 64); (4, 128); (6, 256); (3, 512) ]
+
+(* MobileNetV1: depthwise-separable blocks (dw 3x3 + pw 1x1), width 1.0. *)
+let mobilenet_v1 () =
+  let g = Graph.create ~name:"mobilenet_v1" () in
+  let input = image_input g ~channels:3 ~height:224 ~width:224 in
+  let block_id = ref 0 in
+  let separable ~inputs ~in_channels ~out_channels ~stride =
+    incr block_id;
+    let name suffix = Printf.sprintf "block%d_%s" !block_id suffix in
+    let dw =
+      Graph.add g ~inputs:[ inputs ] (name "dw")
+        (Layer.depthwise ~stride ~padding:1 ~channels:in_channels 3)
+    in
+    let dw_bn = Graph.add g ~inputs:[ dw ] (name "dw_bn") Layer.Batch_norm in
+    let dw_relu = Graph.add g ~inputs:[ dw_bn ] (name "dw_relu") Layer.Relu in
+    let pw =
+      Graph.add g ~inputs:[ dw_relu ] (name "pw")
+        (Layer.conv ~padding:0 ~in_channels ~out_channels 1)
+    in
+    let pw_bn = Graph.add g ~inputs:[ pw ] (name "pw_bn") Layer.Batch_norm in
+    Graph.add g ~inputs:[ pw_bn ] (name "pw_relu") Layer.Relu
+  in
+  let stem =
+    Graph.add g ~inputs:[ input ] "conv1"
+      (Layer.conv ~stride:2 ~padding:1 ~in_channels:3 ~out_channels:32 3)
+  in
+  let stem_bn = Graph.add g ~inputs:[ stem ] "conv1_bn" Layer.Batch_norm in
+  let stem_relu = Graph.add g ~inputs:[ stem_bn ] "conv1_relu" Layer.Relu in
+  let x = ref stem_relu in
+  List.iter
+    (fun (in_channels, out_channels, stride) ->
+      x := separable ~inputs:!x ~in_channels ~out_channels ~stride)
+    [
+      (32, 64, 1); (64, 128, 2); (128, 128, 1); (128, 256, 2); (256, 256, 1);
+      (256, 512, 2); (512, 512, 1); (512, 512, 1); (512, 512, 1); (512, 512, 1);
+      (512, 512, 1); (512, 1024, 2); (1024, 1024, 1);
+    ];
+  let gap = Graph.add g ~inputs:[ !x ] "avgpool" Layer.Global_avg_pool in
+  let _fc =
+    Graph.add g ~inputs:[ gap ] "fc" (Layer.linear ~in_features:1024 ~out_features:1000)
+  in
+  checked g
+
+let builders =
+  [
+    ("vgg16", vgg16);
+    ("resnet18", resnet18);
+    ("squeezenet", squeezenet);
+    ("lenet5", lenet5);
+    ("tiny_mlp", tiny_mlp);
+    ("tiny_resnet", tiny_resnet);
+    ("alexnet", alexnet);
+    ("vgg11", vgg11);
+    ("resnet34", resnet34);
+    ("mobilenet_v1", mobilenet_v1);
+  ]
+
+let by_name name = (List.assoc (String.lowercase_ascii name) builders) ()
+
+let evaluation_models () = [ vgg16 (); resnet18 (); squeezenet () ]
+
+let all_names = List.map fst builders

@@ -1,0 +1,53 @@
+(** Model zoo.
+
+    Exact reconstructions of the three evaluation networks of the paper
+    (Table II) plus small models used by tests and examples.  All builders
+    are deterministic and validate their graph before returning. *)
+
+val vgg16 : unit -> Graph.t
+(** VGG16 (Simonyan & Zisserman), 13 conv + 3 linear layers, 224x224x3
+    input, 1000 classes. *)
+
+val resnet18 : unit -> Graph.t
+(** ResNet18 (He et al.) with basic blocks and 1x1 downsample shortcuts;
+    residual [Add] nodes give partitions multiple entry/exit points. *)
+
+val squeezenet : unit -> Graph.t
+(** SqueezeNet v1.1 (Iandola et al.): fire modules with [Concat] nodes. *)
+
+val lenet5 : unit -> Graph.t
+(** LeNet-5 on 28x28x1 input; small enough to fit on-chip everywhere, used
+    by tests and the quickstart example. *)
+
+val tiny_mlp : unit -> Graph.t
+(** Three linear layers on a vector input; the smallest weighted model. *)
+
+val tiny_resnet : unit -> Graph.t
+(** A 6-conv residual network on 32x32x3 input; exercises skip-edge
+    handling at test scale. *)
+
+val alexnet : unit -> Graph.t
+(** AlexNet (Krizhevsky et al.): large 11x11 stem and ~28 MB of linear
+    weights — another network far beyond the chips' capacity. *)
+
+val vgg11 : unit -> Graph.t
+(** The shallow VGG configuration (A). *)
+
+val resnet34 : unit -> Graph.t
+(** ResNet34: the basic-block ResNet at [3,4,6,3] depth. *)
+
+val mobilenet_v1 : unit -> Graph.t
+(** MobileNetV1 (width 1.0): 13 depthwise-separable blocks — exercises
+    grouped convolutions, the natural edge workload for PIM chips. *)
+
+val by_name : string -> Graph.t
+(** Lookup by lowercase name ("vgg16", "resnet18", "squeezenet", "lenet5",
+    "tiny_mlp", "tiny_resnet", "alexnet", "vgg11", "resnet34",
+    "mobilenet_v1").  Raises [Not_found] otherwise. *)
+
+val evaluation_models : unit -> Graph.t list
+(** The three models of the paper's evaluation, in Table II order
+    (VGG16, ResNet18, SqueezeNet). *)
+
+val all_names : string list
+(** Every name accepted by [by_name]. *)

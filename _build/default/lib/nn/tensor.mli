@@ -1,0 +1,57 @@
+(** Dense float tensors and the reference operator implementations.
+
+    One sample, channel-major layout (CHW for feature maps, flat for
+    vectors).  This is the functional substrate behind [Executor]: a slow,
+    obviously-correct implementation of every IR operator, used to verify
+    that compiled, partitioned execution computes the same function as the
+    original network. *)
+
+type t
+
+val create : Shape.t -> (int -> float) -> t
+(** [create shape f] fills element [i] (layout order) with [f i]. *)
+
+val zeros : Shape.t -> t
+
+val of_array : Shape.t -> float array -> t
+(** Raises [Invalid_argument] when sizes disagree.  The array is copied. *)
+
+val shape : t -> Shape.t
+
+val size : t -> int
+
+val to_array : t -> float array
+(** A fresh copy of the underlying data. *)
+
+val get : t -> int -> float
+(** Flat indexing; raises [Invalid_argument] out of range. *)
+
+val get_chw : t -> c:int -> h:int -> w:int -> float
+(** Feature-map indexing; raises [Invalid_argument] on vectors or out of
+    range. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Element-wise comparison within [eps] (default 1e-9). *)
+
+val max_abs_diff : t -> t -> float
+(** Largest element-wise difference; raises [Invalid_argument] on shape
+    mismatch. *)
+
+(** {2 Operators}
+
+    Weight layouts match [Layer]: convolutions take
+    [out_c * in_c * kh * kw] arrays, linear layers [out * in] arrays
+    (row-major, one row per output). *)
+
+val conv2d : Layer.conv -> weights:float array -> t -> t
+val linear : in_features:int -> out_features:int -> weights:float array -> t -> t
+val max_pool : kernel:int -> stride:int -> padding:int -> t -> t
+val avg_pool : kernel:int -> stride:int -> padding:int -> t -> t
+val global_avg_pool : t -> t
+val relu : t -> t
+val add : t -> t -> t
+val concat : t list -> t
+val flatten : t -> t
+
+val pp_stats : Format.formatter -> t -> unit
+(** Shape, min/max/mean — for debugging. *)

@@ -1,0 +1,78 @@
+let bar ~width ~vmax v =
+  if vmax <= 0. then ""
+  else
+    let n = int_of_float (Float.round (float_of_int width *. v /. vmax)) in
+    String.make (max 0 (min width n)) '#'
+
+let bar_chart ?(width = 50) ~title () series =
+  let vmax = List.fold_left (fun acc (_, v) -> max acc v) 0. series in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let line (label, v) =
+    Printf.sprintf "%-*s | %-*s %.4g" label_w label width (bar ~width ~vmax v) v
+  in
+  String.concat "\n" (title :: List.map line series)
+
+let grouped_bars ?(width = 40) ~title ~group_labels ~series () =
+  let ngroups = List.length group_labels in
+  List.iter
+    (fun (name, vs) ->
+      if List.length vs <> ngroups then
+        invalid_arg ("Ascii_plot.grouped_bars: series " ^ name ^ " length mismatch"))
+    series;
+  let vmax =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left max acc vs)
+      0. series
+  in
+  let label_w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 series
+  in
+  let group_block g glabel =
+    let lines =
+      List.map
+        (fun (name, vs) ->
+          let v = List.nth vs g in
+          Printf.sprintf "  %-*s | %-*s %.4g" label_w name width (bar ~width ~vmax v) v)
+        series
+    in
+    String.concat "\n" ((glabel ^ ":") :: lines)
+  in
+  String.concat "\n" (title :: List.mapi group_block group_labels)
+
+let heat_map ~title ~render_cell ~rows ~cols =
+  let row r = String.init cols (fun c -> render_cell r c) in
+  String.concat "\n" (title :: List.init rows row)
+
+let scatter ?(width = 70) ?(height = 20) ~title ~points () =
+  match points with
+  | [] -> title ^ "\n(no points)"
+  | _ ->
+    let xs = List.map (fun (x, _, _) -> x) points in
+    let ys = List.map (fun (_, y, _) -> y) points in
+    let xmin = List.fold_left min (List.hd xs) xs in
+    let xmax = List.fold_left max (List.hd xs) xs in
+    let ymin = List.fold_left min (List.hd ys) ys in
+    let ymax = List.fold_left max (List.hd ys) ys in
+    let canvas = Array.make_matrix height width ' ' in
+    let place (x, y, marker) =
+      let norm v lo hi n =
+        if hi = lo then 0
+        else
+          let f = (v -. lo) /. (hi -. lo) in
+          max 0 (min (n - 1) (int_of_float (f *. float_of_int (n - 1))))
+      in
+      let c = norm x xmin xmax width in
+      let r = height - 1 - norm y ymin ymax height in
+      canvas.(r).(c) <- marker
+    in
+    List.iter place points;
+    let rows =
+      Array.to_list (Array.map (fun row -> "|" ^ String.init width (Array.get row)) canvas)
+    in
+    let footer =
+      Printf.sprintf "+%s\n x: [%.4g, %.4g]  y: [%.4g, %.4g]"
+        (String.make width '-') xmin xmax ymin ymax
+    in
+    String.concat "\n" ((title :: rows) @ [ footer ])

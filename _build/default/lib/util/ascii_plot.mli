@@ -1,0 +1,40 @@
+(** Terminal plots for the figure reproductions.
+
+    The paper's figures are bar charts (Figs 6-9), a heat map (Fig 5) and a
+    scatter over generations (Fig 10); these helpers render equivalent ASCII
+    artifacts so the benchmark output is self-contained. *)
+
+val bar_chart :
+  ?width:int -> title:string -> unit -> (string * float) list -> string
+(** [bar_chart ~title () series] renders one horizontal bar per labelled
+    value, scaled to [width] characters (default 50).  Non-positive maxima
+    degrade to zero-length bars. *)
+
+val grouped_bars :
+  ?width:int ->
+  title:string ->
+  group_labels:string list ->
+  series:(string * float list) list ->
+  unit ->
+  string
+(** [grouped_bars ~group_labels ~series ()] renders a grouped bar chart:
+    each series has one value per group; bars of the same group are drawn
+    consecutively.  Series value lists must have the same length as
+    [group_labels]. *)
+
+val heat_map :
+  title:string -> render_cell:(int -> int -> char) -> rows:int -> cols:int -> string
+(** [heat_map ~render_cell ~rows ~cols] draws a [rows] x [cols] character
+    grid by sampling [render_cell r c]; used for the validity maps. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  points:(float * float * char) list ->
+  unit ->
+  string
+(** [scatter ~points ()] draws labelled points [(x, y, marker)] on a
+    [width] x [height] character canvas (defaults 70 x 20), with the axes
+    ranges computed from the data.  Later points overwrite earlier ones on
+    collisions. *)

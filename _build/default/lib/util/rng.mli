@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the compiler (initial population sampling,
+    mutation choices, random splits) draw from an explicit [t] so that every
+    compilation is reproducible from a seed.  The generator is splitmix64,
+    which is small, fast and statistically adequate for search heuristics. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator positioned at the same state. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws a uniform integer in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] draws a fair coin flip. *)
+
+val pick : t -> 'a list -> 'a
+(** [pick t xs] draws a uniform element of [xs].  Raises [Invalid_argument]
+    on the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** [pick_array t xs] draws a uniform element of [xs].  Raises
+    [Invalid_argument] on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t xs] permutes [xs] in place (Fisher-Yates). *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t n bound] draws [n] distinct integers from
+    [\[0, bound)] in random order.  Requires [n <= bound]. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing [t]. *)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Compass_arch Compass_util Config Crossbar Energy Interconnect List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Compass_arch Compass_core Compass_nn Compass_util Config Dataflow Graph Layer List Models Option Partition QCheck QCheck_alcotest Unit_gen Validity

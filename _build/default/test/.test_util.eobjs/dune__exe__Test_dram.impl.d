@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Bank Compass_dram Compass_util Controller Dram List Printf QCheck QCheck_alcotest Timing Trace

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Compass_arch Compass_core Compass_nn Compass_util Config Explore Ga Lazy List

@@ -1,0 +1,1 @@
+test/test_ga.ml: Alcotest Baselines Compass_arch Compass_core Compass_nn Compass_util Config Dataflow Estimator Fitness Ga List Partition QCheck QCheck_alcotest Unit_gen Validity

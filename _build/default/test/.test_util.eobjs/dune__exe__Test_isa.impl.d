@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Compass_arch Compass_dram Compass_isa Config Crossbar Instr List Program QCheck QCheck_alcotest Sim String Timeline

@@ -1,0 +1,1 @@
+test/test_model_text.ml: Alcotest Compass_arch Compass_core Compass_nn Filename Graph Layer List Model_text Models QCheck QCheck_alcotest Shape Sys

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Compass_nn Graph Hashtbl Layer List Models Printf QCheck QCheck_alcotest Shape String Summary

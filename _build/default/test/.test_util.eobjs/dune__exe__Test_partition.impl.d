@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Compass_core List Partition QCheck QCheck_alcotest

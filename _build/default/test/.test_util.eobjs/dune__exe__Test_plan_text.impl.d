@@ -1,0 +1,1 @@
+test/test_plan_text.ml: Alcotest Compass_arch Compass_core Compass_nn Compass_util Compiler Config Estimator Filename Ga List Partition Plan_text Printf Report String Sys

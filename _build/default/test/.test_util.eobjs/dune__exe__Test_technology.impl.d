@@ -1,0 +1,1 @@
+test/test_technology.ml: Alcotest Compass_arch Compass_core Compass_nn Compiler Config Crossbar Estimator Ga List Partition Technology

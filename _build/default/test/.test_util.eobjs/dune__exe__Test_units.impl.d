@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Compass_arch Compass_core Compass_nn Config Crossbar Hashtbl List Printf QCheck QCheck_alcotest Unit_gen

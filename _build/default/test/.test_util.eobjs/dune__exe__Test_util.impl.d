@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Compass_util Gen List QCheck QCheck_alcotest Rng Stats String Table Units

@@ -1,0 +1,1 @@
+test/test_validity.ml: Alcotest Array Compass_arch Compass_core Compass_nn Compass_util Config List Mapping Partition QCheck QCheck_alcotest String Unit_gen Validity

@@ -1,0 +1,321 @@
+(* Tests for the performance estimator and fitness extraction. *)
+
+open Compass_core
+open Compass_arch
+
+let setup name chip =
+  let units = Unit_gen.generate (Compass_nn.Models.by_name name) chip in
+  let v = Validity.build units in
+  (units, v, Dataflow.context units)
+
+let eval ctx v ?(batch = 16) scheme =
+  let g = match scheme with `Greedy -> Baselines.greedy v | `Layerwise -> Baselines.layerwise v in
+  Estimator.evaluate ctx ~batch g
+
+let test_positive_outputs () =
+  List.iter
+    (fun name ->
+      let _, v, ctx = setup name Config.chip_s in
+      let p = eval ctx v `Greedy in
+      Alcotest.(check bool) (name ^ " latency > 0") true (p.Estimator.batch_latency_s > 0.);
+      Alcotest.(check bool) (name ^ " energy > 0") true (p.Estimator.energy_j > 0.);
+      Alcotest.(check bool) (name ^ " throughput > 0") true
+        (p.Estimator.throughput_per_s > 0.))
+    [ "vgg16"; "resnet18"; "squeezenet"; "lenet5" ]
+
+let test_latency_monotone_in_batch () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let g = Baselines.greedy v in
+  let l b = (Estimator.evaluate ctx ~batch:b g).Estimator.batch_latency_s in
+  Alcotest.(check bool) "monotone" true (l 1 < l 4 && l 4 < l 16 && l 16 < l 64)
+
+let test_energy_per_sample_decreases_with_batch () =
+  (* Weight writes amortize (paper Fig. 8). *)
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let g = Baselines.greedy v in
+  let e b = (Estimator.evaluate ctx ~batch:b g).Estimator.energy_per_sample_j in
+  Alcotest.(check bool) "amortization" true (e 1 > e 4 && e 4 > e 16)
+
+let test_group_latency_sums_spans_with_overlap () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let g = Baselines.greedy v in
+  let p = Estimator.evaluate ctx ~batch:16 g in
+  let raw_sum =
+    List.fold_left (fun acc sp -> acc +. sp.Estimator.span_s) 0. p.Estimator.spans
+  in
+  Alcotest.(check bool) "overlap only reduces" true
+    (p.Estimator.batch_latency_s <= raw_sum +. 1e-12);
+  Alcotest.(check bool) "not below compute+io" true
+    (p.Estimator.batch_latency_s
+    >= List.fold_left
+         (fun acc sp -> acc +. max sp.Estimator.compute_s sp.Estimator.io_s)
+         0. p.Estimator.spans
+       -. 1e-12)
+
+let test_span_cache_consistency () =
+  let _, v, ctx = setup "resnet18" Config.chip_m in
+  let g = Baselines.layerwise v in
+  let direct = Estimator.evaluate ctx ~batch:8 g in
+  let cache = Hashtbl.create 64 in
+  let cached = Estimator.evaluate_cached ~cache ctx ~batch:8 g in
+  Alcotest.(check (float 1e-12)) "same latency" direct.Estimator.batch_latency_s
+    cached.Estimator.batch_latency_s;
+  Alcotest.(check (float 1e-12)) "same energy" direct.Estimator.energy_j
+    cached.Estimator.energy_j;
+  (* Second call hits the cache with identical results. *)
+  let again = Estimator.evaluate_cached ~cache ctx ~batch:8 g in
+  Alcotest.(check (float 0.)) "cache stable" cached.Estimator.batch_latency_s
+    again.Estimator.batch_latency_s
+
+let test_write_time_scales_with_weights () =
+  let _, v, ctx = setup "vgg16" Config.chip_s in
+  let g = Baselines.greedy v in
+  let p = Estimator.evaluate ctx ~batch:1 g in
+  (* Total weight fetches must at least cover the model at DRAM bandwidth. *)
+  let total_write = List.fold_left (fun acc sp -> acc +. sp.Estimator.write_s) 0. p.Estimator.spans in
+  let weights = 65.97 *. 1024. *. 1024. in
+  Alcotest.(check bool) "write time >= dram bound" true
+    (total_write >= weights /. 6.4e9)
+
+let test_unique_bytes_cover_model_once () =
+  let units, v, ctx = setup "resnet18" Config.chip_s in
+  let g = Baselines.greedy v in
+  let p = Estimator.evaluate ctx ~batch:4 g in
+  let unique =
+    List.fold_left (fun acc sp -> acc +. sp.Estimator.unique_weight_bytes) 0. p.Estimator.spans
+  in
+  Alcotest.(check (float 1.)) "sum equals model weights"
+    (Unit_gen.span_weight_bytes units 0 (Unit_gen.unit_count units))
+    unique
+
+let test_programmed_at_least_unique () =
+  let _, v, ctx = setup "squeezenet" Config.chip_s in
+  let g = Baselines.greedy v in
+  let p = Estimator.evaluate ctx ~batch:4 g in
+  List.iter
+    (fun sp ->
+      Alcotest.(check bool) "replicas only add" true
+        (sp.Estimator.programmed_bytes >= sp.Estimator.unique_weight_bytes -. 1e-6))
+    p.Estimator.spans
+
+let test_edp_definition () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let p = eval ctx v `Greedy in
+  Alcotest.(check (float 1e-12)) "edp = e/sample x latency"
+    (p.Estimator.energy_per_sample_j *. p.Estimator.batch_latency_s)
+    p.Estimator.edp_j_s
+
+let test_energy_components_sum () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let p = eval ctx v `Greedy in
+  let sum = List.fold_left (fun acc (_, e) -> acc +. e) 0. p.Estimator.energy_components in
+  Alcotest.(check (float 1e-9)) "components sum to total" p.Estimator.energy_j sum
+
+let test_more_cores_not_slower_bottleneck () =
+  (* Replication 1, same model: a bigger chip never has a slower pipeline
+     bottleneck in any single full-model partition. *)
+  let _, _, ctx_s = setup "squeezenet" Config.chip_s in
+  let units_l = Unit_gen.generate (Compass_nn.Models.squeezenet ()) Config.chip_l in
+  let ctx_l = Dataflow.context units_l in
+  let m_s = Unit_gen.unit_count (Dataflow.units ctx_s) in
+  let m_l = Unit_gen.unit_count units_l in
+  let p_s = Estimator.span_perf ctx_s ~batch:1 ~start_:0 ~stop:m_s in
+  let p_l = Estimator.span_perf ctx_l ~batch:1 ~start_:0 ~stop:m_l in
+  Alcotest.(check bool) "both positive" true
+    (p_s.Estimator.bottleneck_s > 0. && p_l.Estimator.bottleneck_s > 0.)
+
+let test_io_s_zero_for_no_io () =
+  (* A full on-chip model still loads input and stores output, so io > 0;
+     but compute must dominate for squeezenet. *)
+  let units, _, ctx = setup "squeezenet" Config.chip_m in
+  let sp = Estimator.span_perf ctx ~batch:16 ~start_:0 ~stop:(Unit_gen.unit_count units) in
+  Alcotest.(check bool) "io positive" true (sp.Estimator.io_s > 0.);
+  Alcotest.(check bool) "compute bound" true (sp.Estimator.compute_s > sp.Estimator.io_s)
+
+let test_invalid_args () =
+  let _, v, ctx = setup "lenet5" Config.chip_s in
+  Alcotest.(check bool) "batch 0" true
+    (try
+       ignore (Estimator.evaluate ctx ~batch:0 (Baselines.greedy v));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong cover" true
+    (try
+       ignore (Estimator.evaluate ctx ~batch:1 (Partition.singleton 1));
+       Validity.size v = 1
+     with Invalid_argument _ -> true)
+
+let test_model_options () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let g = Baselines.greedy v in
+  let eval options = Estimator.evaluate ~options ctx ~batch:16 g in
+  let full = eval Estimator.default_options in
+  let no_overlap =
+    eval { Estimator.default_options with Estimator.write_overlap = false }
+  in
+  let no_buffer =
+    eval { Estimator.default_options with Estimator.onchip_buffering = false }
+  in
+  let free_writes =
+    eval { Estimator.default_options with Estimator.charge_writes = false }
+  in
+  Alcotest.(check bool) "overlap only helps" true
+    (full.Estimator.batch_latency_s <= no_overlap.Estimator.batch_latency_s +. 1e-12);
+  Alcotest.(check bool) "buffering never increases dram traffic" true
+    (List.fold_left (fun a sp -> a +. sp.Estimator.io_dram_bytes) 0. full.Estimator.spans
+    <= List.fold_left (fun a sp -> a +. sp.Estimator.io_dram_bytes) 0.
+         no_buffer.Estimator.spans
+       +. 1e-9);
+  Alcotest.(check bool) "free writes strictly faster" true
+    (free_writes.Estimator.batch_latency_s < full.Estimator.batch_latency_s);
+  List.iter
+    (fun sp -> Alcotest.(check (float 0.)) "no write time" 0. sp.Estimator.write_s)
+    free_writes.Estimator.spans
+
+(* Pipeline_sim: independent validation of fill + B*bottleneck. *)
+
+let test_pipeline_sim_agreement () =
+  List.iter
+    (fun (name, chip) ->
+      let _, v, ctx = setup name chip in
+      let g = Baselines.greedy v in
+      List.iteri
+        (fun i (s : Partition.span) ->
+          if i < 3 then
+            let r =
+              Pipeline_sim.estimator_agreement ctx ~batch:4 ~start_:s.Partition.start_
+                ~stop:s.Partition.stop
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s P%d agreement %.3f" name i r)
+              true
+              (r > 0.9 && r < 1.3))
+        (Partition.spans g))
+    [ ("squeezenet", Config.chip_s); ("resnet18", Config.chip_s); ("lenet5", Config.chip_s) ]
+
+let test_pipeline_sim_basics () =
+  (* Two-stage chain: consumer waits for matching producer progress. *)
+  let stages =
+    [
+      { Pipeline_sim.node = 0; items = 4; item_time_s = 1.; producers = [] };
+      { Pipeline_sim.node = 1; items = 4; item_time_s = 2.; producers = [ 0 ] };
+    ]
+  in
+  let r = Pipeline_sim.simulate ~batch:1 stages in
+  (* Stage 1 is the bottleneck: 4 items x 2 s, starting after item 1 of the
+     producer (~1s) -> makespan near 9-10 s but never below the busy time. *)
+  Alcotest.(check int) "bottleneck" 1 r.Pipeline_sim.bottleneck_index;
+  Alcotest.(check bool) "at least bottleneck busy" true (r.Pipeline_sim.makespan_s >= 8.);
+  Alcotest.(check bool) "at most serial" true (r.Pipeline_sim.makespan_s <= 12.);
+  Alcotest.(check (float 1e-9)) "busy accounting" 8. r.Pipeline_sim.stage_busy_s.(1)
+
+let test_pipeline_sim_guards () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Pipeline_sim.simulate ~batch:1 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "forward producer rejected" true
+    (try
+       ignore
+         (Pipeline_sim.simulate ~batch:1
+            [ { Pipeline_sim.node = 0; items = 1; item_time_s = 1.; producers = [ 0 ] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Fitness *)
+
+let test_objective_parsing () =
+  Alcotest.(check bool) "latency" true
+    (Fitness.objective_of_string "Throughput" = Fitness.Latency);
+  Alcotest.(check bool) "energy" true (Fitness.objective_of_string "power" = Fitness.Energy);
+  Alcotest.(check bool) "edp" true (Fitness.objective_of_string "EDP" = Fitness.Edp);
+  Alcotest.(check bool) "unknown" true
+    (try
+       ignore (Fitness.objective_of_string "speed");
+       false
+     with Invalid_argument _ -> true)
+
+let test_group_fitness_is_sum () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let p = eval ctx v `Greedy in
+  let sum =
+    List.fold_left
+      (fun acc sp -> acc +. Fitness.span_fitness Fitness.Latency sp)
+      0. p.Estimator.spans
+  in
+  Alcotest.(check (float 1e-12)) "PGF sums spans" sum
+    (Fitness.group_fitness Fitness.Latency p)
+
+let test_unit_profile_covers_units () =
+  let units, v, ctx = setup "resnet18" Config.chip_s in
+  let p = eval ctx v `Greedy in
+  let m = Unit_gen.unit_count units in
+  let profile = Fitness.unit_fitness_profile Fitness.Latency p ~total_units:m in
+  Alcotest.(check int) "length" m (Array.length profile);
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.)) profile
+
+let test_partition_scores_positive () =
+  let units, v, ctx = setup "resnet18" Config.chip_s in
+  let p = eval ctx v `Greedy in
+  let m = Unit_gen.unit_count units in
+  let profile = Fitness.unit_fitness_profile Fitness.Latency p ~total_units:m in
+  let prefix = Array.make (m + 1) 0. in
+  Array.iteri (fun i x -> prefix.(i + 1) <- prefix.(i) +. x) profile;
+  let scores = Fitness.partition_scores ~population_profile:prefix Fitness.Latency p in
+  Alcotest.(check int) "one per partition" (List.length p.Estimator.spans)
+    (Array.length scores);
+  (* With the population = this single individual, every score is 1. *)
+  Array.iter (fun r -> Alcotest.(check (float 1e-9)) "self score 1" 1. r) scores
+
+(* Property: estimated latency monotone under merge (fewer write phases
+   never hurt when IO is free... not universally true), so instead check
+   robustness: random valid groups always produce finite positive values. *)
+
+let prop_random_groups_finite =
+  QCheck.Test.make ~name:"random groups evaluate to finite values" ~count:30
+    QCheck.small_int (fun seed ->
+      let _, v, ctx = setup "resnet18" Config.chip_s in
+      let g = Validity.random_group (Compass_util.Rng.create seed) v in
+      let p = Estimator.evaluate ctx ~batch:16 g in
+      let ok x = Float.is_finite x && x > 0. in
+      ok p.Estimator.batch_latency_s && ok p.Estimator.energy_j && ok p.Estimator.edp_j_s)
+
+let () =
+  Alcotest.run "estimator"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "positive outputs" `Quick test_positive_outputs;
+          Alcotest.test_case "monotone in batch" `Quick test_latency_monotone_in_batch;
+          Alcotest.test_case "overlap bounds" `Quick
+            test_group_latency_sums_spans_with_overlap;
+          Alcotest.test_case "span cache consistent" `Quick test_span_cache_consistency;
+          Alcotest.test_case "write time bound" `Quick test_write_time_scales_with_weights;
+          Alcotest.test_case "bottlenecks positive" `Quick
+            test_more_cores_not_slower_bottleneck;
+          Alcotest.test_case "io behaviour" `Quick test_io_s_zero_for_no_io;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "model options" `Quick test_model_options;
+          Alcotest.test_case "pipeline sim agreement" `Quick test_pipeline_sim_agreement;
+          Alcotest.test_case "pipeline sim basics" `Quick test_pipeline_sim_basics;
+          Alcotest.test_case "pipeline sim guards" `Quick test_pipeline_sim_guards;
+          QCheck_alcotest.to_alcotest prop_random_groups_finite;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "per-sample amortization" `Quick
+            test_energy_per_sample_decreases_with_batch;
+          Alcotest.test_case "unique bytes once" `Quick test_unique_bytes_cover_model_once;
+          Alcotest.test_case "programmed >= unique" `Quick test_programmed_at_least_unique;
+          Alcotest.test_case "edp definition" `Quick test_edp_definition;
+          Alcotest.test_case "components sum" `Quick test_energy_components_sum;
+        ] );
+      ( "fitness",
+        [
+          Alcotest.test_case "objective parsing" `Quick test_objective_parsing;
+          Alcotest.test_case "PGF sums spans" `Quick test_group_fitness_is_sum;
+          Alcotest.test_case "unit profile covers" `Quick test_unit_profile_covers_units;
+          Alcotest.test_case "partition scores" `Quick test_partition_scores_positive;
+        ] );
+    ]

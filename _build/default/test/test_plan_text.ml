@@ -1,0 +1,126 @@
+(* Tests for plan serialization and the per-layer report. *)
+
+open Compass_core
+open Compass_arch
+
+let quick = Ga.quick_params
+
+let compile ?(batch = 8) name scheme =
+  Compiler.compile ~ga_params:quick ~model:(Compass_nn.Models.by_name name)
+    ~chip:Config.chip_s ~batch scheme
+
+let test_roundtrip_zoo_plan () =
+  let plan = compile "resnet18" Compiler.Compass in
+  let reloaded = Plan_text.of_string (Plan_text.to_string plan) in
+  Alcotest.(check bool) "same group" true
+    (Partition.equal plan.Compiler.group reloaded.Compiler.group);
+  Alcotest.(check int) "same batch" plan.Compiler.batch reloaded.Compiler.batch;
+  Alcotest.(check bool) "same scheme" true (reloaded.Compiler.scheme = Compiler.Compass);
+  Alcotest.(check (float 1e-12)) "same estimated latency"
+    plan.Compiler.perf.Estimator.batch_latency_s
+    reloaded.Compiler.perf.Estimator.batch_latency_s
+
+let test_roundtrip_custom_model () =
+  (* Non-zoo models are embedded inline via Model_text. *)
+  let model =
+    Compass_nn.Model_text.parse
+      "model custom9\ninput in 3x16x16\nconv c1 from in out=8 kernel=3\nrelu r from c1\ngap g from r\nlinear fc from g out=4\n"
+  in
+  let plan =
+    Compiler.compile ~ga_params:quick ~model ~chip:Config.chip_s ~batch:2 Compiler.Greedy
+  in
+  let text = Plan_text.to_string plan in
+  Alcotest.(check bool) "embeds the model" true
+    (String.length text > 0
+    &&
+    let re = "model-text" in
+    let rec contains i =
+      i + String.length re <= String.length text
+      && (String.sub text i (String.length re) = re || contains (i + 1))
+    in
+    contains 0);
+  let reloaded = Plan_text.of_string text in
+  Alcotest.(check string) "model name survives" "custom9"
+    (Compass_nn.Graph.name reloaded.Compiler.model);
+  Alcotest.(check bool) "same group" true
+    (Partition.equal plan.Compiler.group reloaded.Compiler.group)
+
+let test_save_load_file () =
+  let plan = compile "lenet5" Compiler.Greedy in
+  let path = Filename.temp_file "compass" ".plan" in
+  Plan_text.save path plan;
+  let reloaded = Plan_text.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "same group" true
+    (Partition.equal plan.Compiler.group reloaded.Compiler.group)
+
+let check_load_error text fragment =
+  try
+    ignore (Plan_text.of_string text);
+    Alcotest.fail "expected Load_error"
+  with Plan_text.Load_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error mentions %s (got %S)" fragment msg)
+      true
+      (let re = fragment in
+       let rec contains i =
+         i + String.length re <= String.length msg
+         && (String.sub msg i (String.length re) = re || contains (i + 1))
+       in
+       contains 0)
+
+let test_load_errors () =
+  check_load_error "garbage" "malformed line";
+  check_load_error "note hello\n" "not a compass-plan";
+  check_load_error "compass-plan 1\nchip S\nbatch 2\nobjective latency\nscheme greedy\ncuts 0 1\n"
+    "missing field model";
+  check_load_error
+    "compass-plan 1\nmodel nosuch\nchip S\nbatch 2\nobjective latency\nscheme greedy\ncuts 0 1\n"
+    "unknown zoo model";
+  check_load_error
+    "compass-plan 1\nmodel lenet5\nchip S\nbatch 2\nobjective latency\nscheme greedy\ncuts 0 1\n"
+    "cover";
+  check_load_error
+    "compass-plan 1\nmodel lenet5\nchip S\nbatch 0\nobjective latency\nscheme greedy\ncuts 0 5\n"
+    "bad batch"
+
+let test_wrong_chip_rejected () =
+  (* Cuts computed for chip S do not cover the chip L decomposition. *)
+  let plan = compile "resnet18" Compiler.Greedy in
+  let text = Plan_text.to_string plan in
+  let retargeted =
+    String.concat "\n"
+      (List.map
+         (fun line -> if line = "chip S" then "chip L" else line)
+         (String.split_on_char '\n' text))
+  in
+  check_load_error retargeted "different hardware"
+
+let test_plan_layer_table () =
+  let plan = compile "resnet18" Compiler.Compass in
+  let table = Report.plan_layer_table plan in
+  (* One row per (layer, partition) stage entry. *)
+  let stage_rows =
+    List.fold_left
+      (fun acc sp -> acc + List.length sp.Estimator.stage_times)
+      0 plan.Compiler.perf.Estimator.spans
+  in
+  Alcotest.(check int) "row per stage" stage_rows (Compass_util.Table.row_count table)
+
+let () =
+  Alcotest.run "plan_text"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "zoo plan" `Quick test_roundtrip_zoo_plan;
+          Alcotest.test_case "custom model plan" `Quick test_roundtrip_custom_model;
+          Alcotest.test_case "save/load file" `Quick test_save_load_file;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "load errors" `Quick test_load_errors;
+          Alcotest.test_case "wrong chip rejected" `Quick test_wrong_chip_rejected;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "per-layer table" `Quick test_plan_layer_table ] );
+    ]

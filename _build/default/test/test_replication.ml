@@ -1,0 +1,207 @@
+(* Tests for the replication allocator and the shared perf model. *)
+
+open Compass_core
+open Compass_arch
+
+let setup name chip =
+  let units = Unit_gen.generate (Compass_nn.Models.by_name name) chip in
+  let v = Validity.build units in
+  (units, v, Dataflow.context units)
+
+(* Perf_model *)
+
+let test_span_layers_topo () =
+  let units, _, ctx = setup "resnet18" Config.chip_s in
+  let m = Unit_gen.unit_count units in
+  let layers = Perf_model.span_layers ctx ~start_:0 ~stop:m in
+  let expected = Compass_nn.Graph.weighted_nodes units.Unit_gen.model in
+  Alcotest.(check (list int)) "all weighted layers in order" expected
+    (List.map (fun (p : Perf_model.layer_perf) -> p.Perf_model.node) layers)
+
+let test_stage_time_scales_with_replication () =
+  let units, _, ctx = setup "resnet18" Config.chip_s in
+  ignore units;
+  let layers = Perf_model.span_layers ctx ~start_:0 ~stop:4 in
+  List.iter
+    (fun (p : Perf_model.layer_perf) ->
+      let s1 = Perf_model.stage_time_s p ~replication:1 in
+      let s2 = Perf_model.stage_time_s p ~replication:2 in
+      Alcotest.(check (float 1e-12)) "halves" (s1 /. 2.) s2)
+    layers
+
+let test_op_time_includes_mvm_latency () =
+  let units, _, ctx = setup "lenet5" Config.chip_s in
+  let m = Unit_gen.unit_count units in
+  let layers = Perf_model.span_layers ctx ~start_:0 ~stop:m in
+  List.iter
+    (fun (p : Perf_model.layer_perf) ->
+      Alcotest.(check bool) "op time >= mvm latency" true
+        (p.Perf_model.op_time_s
+        >= Config.chip_s.Config.crossbar.Crossbar.mvm_latency_s))
+    layers
+
+let test_attached_ops_positive () =
+  let units, _, ctx = setup "resnet18" Config.chip_s in
+  let io = Dataflow.span_io ctx ~start_:0 ~stop:(Unit_gen.unit_count units) in
+  Alcotest.(check bool) "relu/pool/bn work exists" true
+    (Perf_model.attached_vfu_ops ctx io > 0)
+
+let test_max_useful_replication () =
+  let units, _, ctx = setup "vgg16" Config.chip_s in
+  let m = Unit_gen.unit_count units in
+  let layers = Perf_model.span_layers ctx ~start_:0 ~stop:m in
+  let fc =
+    List.find
+      (fun (p : Perf_model.layer_perf) -> p.Perf_model.mvms = 1)
+      layers
+  in
+  Alcotest.(check int) "linear caps at 1" 1 (Perf_model.max_useful_replication fc)
+
+(* Replication allocator *)
+
+let test_replication_at_least_one () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let stop = Validity.max_end v 0 in
+  let alloc = Replication.allocate ctx ~batch:16 ~start_:0 ~stop in
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "r >= 1" true (r >= 1))
+    alloc.Replication.per_layer
+
+let test_replication_within_budget () =
+  List.iter
+    (fun (_, chip) ->
+      let _, v, ctx = setup "resnet18" chip in
+      let budget = Config.total_macros chip in
+      let rec spans pos acc =
+        if pos >= Validity.size v then List.rev acc
+        else
+          let stop = Validity.max_end v pos in
+          spans stop ((pos, stop) :: acc)
+      in
+      List.iter
+        (fun (a, b) ->
+          let alloc = Replication.allocate ctx ~batch:16 ~start_:a ~stop:b in
+          Alcotest.(check bool) "tiles within budget" true
+            (alloc.Replication.tiles_used <= budget);
+          Alcotest.(check int) "spare consistent" budget
+            (alloc.Replication.tiles_used + alloc.Replication.spare_tiles))
+        (spans 0 []))
+    Config.presets
+
+let test_replication_packs () =
+  (* The allocation must always be placeable. *)
+  let units, v, ctx = setup "squeezenet" Config.chip_s in
+  let m = Validity.size v in
+  let alloc = Replication.allocate ctx ~batch:16 ~start_:0 ~stop:m in
+  match
+    Mapping.pack units ~start_:0 ~stop:m
+      ~replication:(Replication.unit_replication alloc units)
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("final allocation does not pack: " ^ e)
+
+let test_replication_helps_bottleneck () =
+  (* With spare space, the early high-pixel-count conv gets replicated. *)
+  let units, v, ctx = setup "squeezenet" Config.chip_s in
+  let m = Validity.size v in
+  let alloc = Replication.allocate ctx ~batch:16 ~start_:0 ~stop:m in
+  let model = units.Unit_gen.model in
+  let conv1 =
+    List.find
+      (fun n -> (Compass_nn.Graph.layer model n).Compass_nn.Layer.name = "conv1")
+      (Compass_nn.Graph.weighted_nodes model)
+  in
+  Alcotest.(check bool) "conv1 replicated" true
+    (Replication.replication_of alloc conv1 > 1);
+  Alcotest.(check bool) "max replication consistent" true
+    (Replication.max_replication alloc >= Replication.replication_of alloc conv1)
+
+let test_replication_reduces_bottleneck () =
+  (* The replicated pipeline bottleneck is no worse than unreplicated. *)
+  let _, v, ctx = setup "squeezenet" Config.chip_m in
+  let m = Validity.size v in
+  let layers = Perf_model.span_layers ctx ~start_:0 ~stop:m in
+  let alloc = Replication.allocate ctx ~batch:16 ~start_:0 ~stop:m in
+  let bottleneck rep_of =
+    List.fold_left
+      (fun acc (p : Perf_model.layer_perf) ->
+        max acc (Perf_model.stage_time_s p ~replication:(rep_of p.Perf_model.node)))
+      0. layers
+  in
+  let before = bottleneck (fun _ -> 1) in
+  let after = bottleneck (Replication.replication_of alloc) in
+  Alcotest.(check bool) "bottleneck improves" true (after < before)
+
+let test_default_replication_for_absent_layer () =
+  let _, v, ctx = setup "lenet5" Config.chip_s in
+  let alloc = Replication.allocate ctx ~batch:16 ~start_:0 ~stop:(Validity.size v) in
+  Alcotest.(check int) "absent node defaults to 1" 1
+    (Replication.replication_of alloc 99999)
+
+let test_greedy_spans_little_spare () =
+  (* Greedy packs to the rim: the replication allocator finds little spare
+     space — the paper's explanation of greedy's poor throughput. *)
+  let _, v, ctx = setup "vgg16" Config.chip_s in
+  let g = Baselines.greedy v in
+  let spares =
+    List.map
+      (fun (s : Partition.span) ->
+        let alloc =
+          Replication.allocate ctx ~batch:16 ~start_:s.Partition.start_ ~stop:s.Partition.stop
+        in
+        float_of_int alloc.Replication.spare_tiles
+        /. float_of_int (Config.total_macros Config.chip_s))
+      (Partition.spans g)
+  in
+  let avg = Compass_util.Stats.mean spares in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg spare small (%.2f)" avg)
+    true (avg < 0.35)
+
+(* Properties *)
+
+let prop_allocation_valid_on_random_spans =
+  QCheck.Test.make ~name:"allocation valid on random spans" ~count:40
+    QCheck.small_int (fun seed ->
+      let units, v, ctx = setup "resnet18" Config.chip_m in
+      let rng = Compass_util.Rng.create seed in
+      let a = Compass_util.Rng.int rng (Validity.size v) in
+      let b = Compass_util.Rng.int_in rng (a + 1) (Validity.max_end v a) in
+      let alloc = Replication.allocate ctx ~batch:16 ~start_:a ~stop:b in
+      alloc.Replication.tiles_used <= Config.total_macros Config.chip_m
+      && List.for_all (fun (_, r) -> r >= 1) alloc.Replication.per_layer
+      &&
+      match
+        Mapping.pack units ~start_:a ~stop:b
+          ~replication:(Replication.unit_replication alloc units)
+      with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "perf_model",
+        [
+          Alcotest.test_case "span layers topo" `Quick test_span_layers_topo;
+          Alcotest.test_case "stage time scales" `Quick
+            test_stage_time_scales_with_replication;
+          Alcotest.test_case "op time >= mvm" `Quick test_op_time_includes_mvm_latency;
+          Alcotest.test_case "attached ops positive" `Quick test_attached_ops_positive;
+          Alcotest.test_case "max useful replication" `Quick test_max_useful_replication;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "at least one" `Quick test_replication_at_least_one;
+          Alcotest.test_case "within budget" `Quick test_replication_within_budget;
+          Alcotest.test_case "always packs" `Quick test_replication_packs;
+          Alcotest.test_case "helps bottleneck layer" `Quick
+            test_replication_helps_bottleneck;
+          Alcotest.test_case "reduces bottleneck" `Quick test_replication_reduces_bottleneck;
+          Alcotest.test_case "absent layer defaults" `Quick
+            test_default_replication_for_absent_layer;
+          Alcotest.test_case "greedy spans little spare" `Quick
+            test_greedy_spans_little_spare;
+          QCheck_alcotest.to_alcotest prop_allocation_valid_on_random_spans;
+        ] );
+    ]

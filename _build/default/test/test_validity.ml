@@ -1,0 +1,220 @@
+(* Tests for the validity map (paper Fig. 5) and core mapping (bin
+   packing). *)
+
+open Compass_core
+open Compass_arch
+
+let setup name chip =
+  let units = Unit_gen.generate (Compass_nn.Models.by_name name) chip in
+  (units, Validity.build units)
+
+(* Mapping *)
+
+let test_pack_single_unit () =
+  let units, _ = setup "resnet18" Config.chip_s in
+  match Mapping.pack units ~start_:0 ~stop:1 ~replication:(fun _ -> 1) with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    Alcotest.(check int) "one core used" 1 (Mapping.cores_used m);
+    Alcotest.(check int) "tiles placed" units.Unit_gen.units.(0).Unit_gen.tiles
+      m.Mapping.total_tiles
+
+let test_pack_respects_core_capacity () =
+  let units, v = setup "vgg16" Config.chip_s in
+  let stop = Validity.max_end v 0 in
+  match Mapping.pack units ~start_:0 ~stop ~replication:(fun _ -> 1) with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    Array.iter
+      (fun used ->
+        Alcotest.(check bool) "within capacity" true (used <= m.Mapping.capacity_per_core))
+      m.Mapping.tiles_used
+
+let test_pack_replication_multiplies () =
+  let units, _ = setup "resnet18" Config.chip_s in
+  let r1 =
+    match Mapping.pack units ~start_:0 ~stop:1 ~replication:(fun _ -> 1) with
+    | Ok m -> m.Mapping.total_tiles
+    | Error e -> Alcotest.fail e
+  in
+  let r3 =
+    match Mapping.pack units ~start_:0 ~stop:1 ~replication:(fun _ -> 3) with
+    | Ok m -> m.Mapping.total_tiles
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "3x tiles" (3 * r1) r3
+
+let test_pack_overflow_fails () =
+  let units, _ = setup "vgg16" Config.chip_s in
+  let m = Unit_gen.unit_count units in
+  Alcotest.(check bool) "whole vgg cannot pack" true
+    (match Mapping.pack units ~start_:0 ~stop:m ~replication:(fun _ -> 1) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_pack_bad_replication () =
+  let units, _ = setup "lenet5" Config.chip_s in
+  Alcotest.(check bool) "rep 0 rejected" true
+    (try
+       ignore (Mapping.pack units ~start_:0 ~stop:1 ~replication:(fun _ -> 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_core_of_unit () =
+  let units, _ = setup "lenet5" Config.chip_s in
+  match Mapping.pack units ~start_:0 ~stop:2 ~replication:(fun _ -> 2) with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    let c0 = Mapping.core_of_unit m ~unit_index:0 ~replica:0 in
+    let c1 = Mapping.core_of_unit m ~unit_index:0 ~replica:1 in
+    Alcotest.(check bool) "both placed" true (c0 >= 0 && c1 >= 0);
+    Alcotest.(check bool) "missing replica raises" true
+      (try
+         ignore (Mapping.core_of_unit m ~unit_index:0 ~replica:5);
+         false
+       with Not_found -> true)
+
+let test_utilization_bounds () =
+  let units, v = setup "resnet18" Config.chip_m in
+  let stop = Validity.max_end v 0 in
+  match Mapping.pack units ~start_:0 ~stop ~replication:(fun _ -> 1) with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    let u = Mapping.utilization m in
+    Alcotest.(check bool) "in (0,1]" true (u > 0. && u <= 1.)
+
+(* Validity *)
+
+let test_max_end_progress () =
+  List.iter
+    (fun name ->
+      let _, v = setup name Config.chip_s in
+      for a = 0 to Validity.size v - 1 do
+        Alcotest.(check bool) "max_end > start" true (Validity.max_end v a > a)
+      done)
+    [ "vgg16"; "resnet18"; "squeezenet" ]
+
+let test_valid_spans_feasible () =
+  (* Everything the map calls valid must actually bin-pack. *)
+  let units, v = setup "resnet18" Config.chip_s in
+  let rng = Compass_util.Rng.create 42 in
+  for _ = 1 to 50 do
+    let a = Compass_util.Rng.int rng (Validity.size v) in
+    let b = Compass_util.Rng.int_in rng (a + 1) (Validity.max_end v a) in
+    Alcotest.(check bool) "feasible" true (Mapping.feasible units ~start_:a ~stop:b)
+  done
+
+let test_invalid_spans_infeasible_capacity () =
+  (* Spans one past max_end must violate capacity or packing. *)
+  let units, v = setup "vgg16" Config.chip_s in
+  let checked = ref 0 in
+  for a = 0 to Validity.size v - 1 do
+    let b = Validity.max_end v a in
+    if b < Validity.size v && !checked < 30 then begin
+      incr checked;
+      Alcotest.(check bool) "just past the edge fails" false
+        (Mapping.feasible units ~start_:a ~stop:(b + 1))
+    end
+  done;
+  Alcotest.(check bool) "some edges checked" true (!checked > 0)
+
+let test_density_ordering () =
+  (* Fig. 5: density shrinks with model size and grows with chip size. *)
+  let _, v_small_model = setup "squeezenet" Config.chip_s in
+  let _, v_big_model = setup "vgg16" Config.chip_s in
+  Alcotest.(check bool) "squeezenet denser than vgg16" true
+    (Validity.density v_small_model > Validity.density v_big_model);
+  let _, v_small_chip = setup "resnet18" Config.chip_s in
+  let _, v_big_chip = setup "resnet18" Config.chip_l in
+  Alcotest.(check bool) "chip L denser than chip S" true
+    (Validity.density v_big_chip > Validity.density v_small_chip)
+
+let test_squeezenet_fully_valid () =
+  (* SqueezeNet fits every chip entirely: every span is valid. *)
+  let _, v = setup "squeezenet" Config.chip_s in
+  Alcotest.(check (float 1e-9)) "density 1" 1. (Validity.density v)
+
+let test_is_valid_bounds () =
+  let _, v = setup "resnet18" Config.chip_s in
+  Alcotest.(check bool) "negative start" false (Validity.is_valid v ~start_:(-1) ~stop:1);
+  Alcotest.(check bool) "empty span" false (Validity.is_valid v ~start_:3 ~stop:3);
+  Alcotest.(check bool) "single unit" true (Validity.is_valid v ~start_:0 ~stop:1)
+
+let test_random_group_valid () =
+  List.iter
+    (fun name ->
+      let _, v = setup name Config.chip_s in
+      let rng = Compass_util.Rng.create 7 in
+      for _ = 1 to 20 do
+        let g = Validity.random_group rng v in
+        Alcotest.(check bool) (name ^ " random group valid") true (Validity.group_valid v g);
+        Alcotest.(check int)
+          (name ^ " covers all units")
+          (Validity.size v) (Partition.total_units g)
+      done)
+    [ "vgg16"; "resnet18"; "squeezenet" ]
+
+let test_group_valid_rejects_wrong_cover () =
+  let _, v = setup "resnet18" Config.chip_s in
+  let g = Partition.singleton (Validity.size v - 1) in
+  Alcotest.(check bool) "wrong size rejected" false (Validity.group_valid v g)
+
+let test_render_shape () =
+  let _, v = setup "resnet18" Config.chip_s in
+  let s = Validity.render ~cells:16 v in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "title + 16 rows" 17 (List.length lines);
+  Alcotest.(check bool) "contains valid cells" true (String.contains s '#')
+
+(* Properties *)
+
+let prop_random_groups_always_valid =
+  QCheck.Test.make ~name:"random groups valid across seeds" ~count:50
+    QCheck.small_int (fun seed ->
+      let _, v = setup "resnet18" Config.chip_s in
+      let g = Validity.random_group (Compass_util.Rng.create seed) v in
+      Validity.group_valid v g)
+
+let prop_subspans_of_valid_are_valid =
+  QCheck.Test.make ~name:"prefix subspans of valid spans are valid" ~count:50
+    QCheck.small_int (fun seed ->
+      let _, v = setup "resnet18" Config.chip_m in
+      let rng = Compass_util.Rng.create seed in
+      let a = Compass_util.Rng.int rng (Validity.size v) in
+      let b = Compass_util.Rng.int_in rng (a + 1) (Validity.max_end v a) in
+      (* Any [a, c) with c <= b is also within max_end. *)
+      let c = Compass_util.Rng.int_in rng (a + 1) b in
+      Validity.is_valid v ~start_:a ~stop:c)
+
+let () =
+  Alcotest.run "validity"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "pack single unit" `Quick test_pack_single_unit;
+          Alcotest.test_case "respects core capacity" `Quick
+            test_pack_respects_core_capacity;
+          Alcotest.test_case "replication multiplies" `Quick
+            test_pack_replication_multiplies;
+          Alcotest.test_case "overflow fails" `Quick test_pack_overflow_fails;
+          Alcotest.test_case "bad replication" `Quick test_pack_bad_replication;
+          Alcotest.test_case "core_of_unit" `Quick test_core_of_unit;
+          Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+        ] );
+      ( "validity-map",
+        [
+          Alcotest.test_case "max_end progress" `Quick test_max_end_progress;
+          Alcotest.test_case "valid spans feasible" `Quick test_valid_spans_feasible;
+          Alcotest.test_case "edges infeasible" `Quick
+            test_invalid_spans_infeasible_capacity;
+          Alcotest.test_case "density ordering (Fig 5)" `Quick test_density_ordering;
+          Alcotest.test_case "squeezenet fully valid" `Quick test_squeezenet_fully_valid;
+          Alcotest.test_case "is_valid bounds" `Quick test_is_valid_bounds;
+          Alcotest.test_case "random group valid" `Quick test_random_group_valid;
+          Alcotest.test_case "wrong cover rejected" `Quick
+            test_group_valid_rejects_wrong_cover;
+          Alcotest.test_case "render shape" `Quick test_render_shape;
+          QCheck_alcotest.to_alcotest prop_random_groups_always_valid;
+          QCheck_alcotest.to_alcotest prop_subspans_of_valid_are_valid;
+        ] );
+    ]
