@@ -35,6 +35,17 @@ let seed_arg =
   let doc = "GA random seed." in
   Arg.(value & opt int Ga.default_params.Ga.seed & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for GA candidate evaluation (default: the COMPASS_JOBS \
+     environment variable, else 1; 0 picks the machine's recommended domain \
+     count).  The compiled plan is bit-identical for every value."
+  in
+  Arg.(
+    value
+    & opt int (Compass_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let simulate_arg =
   let doc = "Also lower to instructions, simulate, and replay the DRAM trace." in
   Arg.(value & flag & info [ "simulate" ] ~doc)
@@ -70,9 +81,13 @@ let lookup_chip label =
     Printf.eprintf "unknown chip %s (try S, M, L)\n" label;
     exit 2
 
-let ga_params ~quick ~seed =
+let ga_params ~quick ~seed ~jobs =
   let base = if quick then Ga.quick_params else Ga.default_params in
-  { base with Ga.seed }
+  let jobs =
+    if jobs <= 0 then min 128 (max 1 (Domain.recommended_domain_count ()))
+    else min 128 jobs
+  in
+  { base with Ga.seed; Ga.jobs = jobs }
 
 (* info *)
 
@@ -102,14 +117,15 @@ let compile_cmd =
       value & opt (some string) None
       & info [ "save" ] ~docv:"PATH" ~doc:"Archive the compiled plan (see Plan_text).")
   in
-  let run model chip batch scheme objective seed simulate quick save tech =
+  let run model chip batch scheme objective seed jobs simulate quick save tech =
     let model = lookup_model model in
     let chip = retarget ~tech:(lookup_tech tech) (lookup_chip chip) in
     let scheme = Compiler.scheme_of_string scheme in
     let objective = Fitness.objective_of_string objective in
     let plan =
-      Compiler.compile ~objective ~ga_params:(ga_params ~quick ~seed) ~model ~chip ~batch
-        scheme
+      Compiler.compile ~objective
+        ~ga_params:(ga_params ~quick ~seed ~jobs)
+        ~model ~chip ~batch scheme
     in
     Format.printf "%a" Compiler.pp_plan plan;
     (match plan.Compiler.ga with
@@ -137,7 +153,7 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile one workload with one scheme")
     Term.(
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
-      $ seed_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg)
+      $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg)
 
 (* plan: reload an archived plan *)
 
@@ -185,12 +201,14 @@ let schedule_cmd =
   let listing_arg =
     Arg.(value & flag & info [ "listing" ] ~doc:"Dump the per-core instruction listings.")
   in
-  let run model chip batch scheme seed quick listing =
+  let run model chip batch scheme seed jobs quick listing =
     let model = lookup_model model in
     let chip = lookup_chip chip in
     let scheme = Compiler.scheme_of_string scheme in
     let plan =
-      Compiler.compile ~ga_params:(ga_params ~quick ~seed) ~model ~chip ~batch scheme
+      Compiler.compile
+        ~ga_params:(ga_params ~quick ~seed ~jobs)
+        ~model ~chip ~batch scheme
     in
     let m = Compiler.measure plan in
     Format.printf "%s (%s): %d instructions, weights %s, activations peak %s@."
@@ -217,8 +235,8 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Lower a plan to instructions, simulate, show the timeline")
     Term.(
-      const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ seed_arg $ quick_arg
-      $ listing_arg)
+      const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ seed_arg $ jobs_arg
+      $ quick_arg $ listing_arg)
 
 (* model *)
 
@@ -261,12 +279,12 @@ let explore_cmd =
       value & opt (some float) None
       & info [ "target" ] ~docv:"INF/S" ~doc:"Find the smallest chip meeting this throughput.")
   in
-  let run model seed quick target =
+  let run model seed jobs quick target =
     let model = lookup_model model in
     let chips = List.map snd Compass_arch.Config.presets in
     let points =
       Explore.sweep
-        ~ga_params:(ga_params ~quick ~seed)
+        ~ga_params:(ga_params ~quick ~seed ~jobs)
         ~model ~chips ~batches:[ 1; 4; 16 ] ()
     in
     Compass_util.Table.print (Explore.points_table points);
@@ -282,7 +300,7 @@ let explore_cmd =
       | None -> Printf.printf "\nno preset reaches %.0f inf/s\n" throughput_per_s)
   in
   Cmd.v (Cmd.info "explore" ~doc:"Sweep chips and batches; print the Pareto frontier")
-    Term.(const run $ model_arg $ seed_arg $ quick_arg $ target_arg)
+    Term.(const run $ model_arg $ seed_arg $ jobs_arg $ quick_arg $ target_arg)
 
 (* sweep *)
 
@@ -304,7 +322,7 @@ let sweep_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the rows as CSV.")
   in
-  let run models chips batch seed quick csv =
+  let run models chips batch seed jobs quick csv =
     let rows = ref [] in
     List.iter
       (fun mname ->
@@ -315,7 +333,7 @@ let sweep_cmd =
             rows :=
               !rows
               @ Report.compare_schemes
-                  ~ga_params:(ga_params ~quick ~seed)
+                  ~ga_params:(ga_params ~quick ~seed ~jobs)
                   ~model ~chip ~batch ())
           chips)
       models;
@@ -327,7 +345,9 @@ let sweep_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Compare schemes across workloads (Fig. 6)")
-    Term.(const run $ models_arg $ chips_arg $ batch_arg $ seed_arg $ quick_arg $ csv_arg)
+    Term.(
+      const run $ models_arg $ chips_arg $ batch_arg $ seed_arg $ jobs_arg $ quick_arg
+      $ csv_arg)
 
 let () =
   let doc = "COMPASS: compiler for resource-constrained crossbar PIM accelerators" in

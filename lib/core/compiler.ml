@@ -29,9 +29,12 @@ type t = {
   ga : Ga.result option;
 }
 
-let compile ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params) ~model ~chip
-    ~batch scheme =
+let compile ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params) ?jobs ~model
+    ~chip ~batch scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
+  let ga_params =
+    match jobs with Some j -> { ga_params with Ga.jobs = j } | None -> ga_params
+  in
   let units = Unit_gen.generate model chip in
   let validity = Validity.build units in
   let ctx = Dataflow.context units in

@@ -33,13 +33,16 @@ type t = {
 val compile :
   ?objective:Fitness.objective ->
   ?ga_params:Ga.params ->
+  ?jobs:int ->
   model:Compass_nn.Graph.t ->
   chip:Compass_arch.Config.chip ->
   batch:int ->
   scheme ->
   t
 (** Raises [Invalid_argument] for models without weighted layers or
-    non-positive batch sizes. *)
+    non-positive batch sizes.  [?jobs] overrides [ga_params.jobs] — the
+    worker-domain count of the GA search (the CLI's [-j]; the compiled
+    plan is bit-identical for any value). *)
 
 type measurement = {
   schedule : Scheduler.t;

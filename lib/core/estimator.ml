@@ -238,21 +238,70 @@ let evaluate ?(options = default_options) ctx ~batch group =
   in
   combine ~options ctx ~batch spans
 
-let evaluate_cached ~cache ctx ~batch group =
+module Span_cache = struct
+  type cache = {
+    batch : int;
+    options : model_options;
+    table : (int * int, span_perf) Hashtbl.t;
+  }
+
+  type t = cache
+
+  let create ?(options = default_options) ~batch () =
+    if batch < 1 then invalid_arg "Estimator.Span_cache.create: batch < 1";
+    { batch; options; table = Hashtbl.create 1024 }
+
+  let batch t = t.batch
+  let options t = t.options
+  let length t = Hashtbl.length t.table
+  let find_opt t key = Hashtbl.find_opt t.table key
+  let add t key sp = Hashtbl.replace t.table key sp
+
+  (* span_perf results depend on (batch, options) as much as on the span
+     itself; a cache is branded with both at creation and refuses to mix. *)
+  let check_compatible ~what a b =
+    if a.batch <> b.batch then
+      invalid_arg
+        (Printf.sprintf "%s: cache batch mismatch (%d vs %d)" what a.batch b.batch);
+    if a.options <> b.options then invalid_arg (what ^ ": cache options mismatch")
+
+  let merge_into dst ~src =
+    check_compatible ~what:"Estimator.Span_cache.merge_into" dst src;
+    Hashtbl.iter
+      (fun key sp -> if not (Hashtbl.mem dst.table key) then Hashtbl.add dst.table key sp)
+      src.table
+end
+
+let evaluate_cached ?shared ~cache ctx ~batch group =
   if batch < 1 then invalid_arg "Estimator.evaluate_cached: batch < 1";
+  if Span_cache.batch cache <> batch then
+    invalid_arg
+      (Printf.sprintf "Estimator.evaluate_cached: cache built for batch %d, called with %d"
+         (Span_cache.batch cache) batch);
+  Option.iter
+    (fun s -> Span_cache.check_compatible ~what:"Estimator.evaluate_cached" cache s)
+    shared;
+  let options = Span_cache.options cache in
+  let lookup key =
+    match Option.bind shared (fun s -> Span_cache.find_opt s key) with
+    | Some sp -> Some sp
+    | None -> Span_cache.find_opt cache key
+  in
   let spans =
     List.map
       (fun (s : Partition.span) ->
         let key = (s.Partition.start_, s.Partition.stop) in
-        match Hashtbl.find_opt cache key with
+        match lookup key with
         | Some sp -> sp
         | None ->
-          let sp = span_perf ctx ~batch ~start_:s.Partition.start_ ~stop:s.Partition.stop in
-          Hashtbl.add cache key sp;
+          let sp =
+            span_perf ~options ctx ~batch ~start_:s.Partition.start_ ~stop:s.Partition.stop
+          in
+          Span_cache.add cache key sp;
           sp)
       (Partition.spans group)
   in
-  combine ctx ~batch spans
+  combine ~options ctx ~batch spans
 
 let pp_breakdown model ppf perf =
   let open Compass_util in

@@ -94,14 +94,48 @@ val evaluate :
 (** Evaluate a full partition group.  Raises [Invalid_argument] if the
     group does not cover the decomposition or [batch < 1]. *)
 
+(** Span caches for the GA search.  [span_perf] results depend on [batch]
+    and [model_options] as much as on the [(start_, stop)] key, so a cache
+    is branded with both at creation time and every operation that could
+    mix entries from differently-branded caches raises [Invalid_argument]
+    instead of silently returning stale results. *)
+module Span_cache : sig
+  type t
+
+  val create : ?options:model_options -> batch:int -> unit -> t
+  (** A fresh empty cache for one [(batch, options)] brand ([options]
+      defaults to {!default_options}).  Raises [Invalid_argument] when
+      [batch < 1]. *)
+
+  val batch : t -> int
+  val options : t -> model_options
+
+  val length : t -> int
+  (** Number of distinct spans cached. *)
+
+  val merge_into : t -> src:t -> unit
+  (** [merge_into dst ~src] copies [src]'s entries into [dst], keeping
+      [dst]'s entry on key collisions (entries are pure functions of the
+      key under a fixed brand, so both are equal).  Raises
+      [Invalid_argument] when the brands differ.  The GA merges the
+      domain-local caches of a generation into the run-wide cache with
+      this. *)
+end
+
 val evaluate_cached :
-  cache:(int * int, span_perf) Hashtbl.t ->
+  ?shared:Span_cache.t ->
+  cache:Span_cache.t ->
   Dataflow.ctx ->
   batch:int ->
   Partition.t ->
   perf
-(** [evaluate] with an external span cache (the GA owns one per run; all
-    entries must come from the same [ctx] and [batch]). *)
+(** [evaluate] with an external span cache; newly computed spans are added
+    to [cache].  [?shared] is an optional second cache consulted first and
+    {e never written} — during parallel GA evaluation it is the run-wide
+    cache, safely read by every domain while each writes only its own
+    [cache].  Raises [Invalid_argument] when [batch] (or [shared]'s brand)
+    disagrees with [cache]'s brand, or when [batch < 1].  All entries must
+    come from the same [ctx]. *)
 
 val pp_breakdown : Compass_nn.Graph.t -> Format.formatter -> perf -> unit
 (** Per-partition table: layers, replication, write/compute/io split. *)

@@ -8,13 +8,14 @@ type point = {
   capacity_mb : float;
 }
 
-let sweep ?objective ?ga_params ~model ~chips ~batches () =
+let sweep ?objective ?ga_params ?jobs ~model ~chips ~batches () =
   List.concat_map
     (fun chip ->
       List.map
         (fun batch ->
           let plan =
-            Compiler.compile ?objective ?ga_params ~model ~chip ~batch Compiler.Compass
+            Compiler.compile ?objective ?ga_params ?jobs ~model ~chip ~batch
+              Compiler.Compass
           in
           {
             chip;

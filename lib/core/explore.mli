@@ -19,13 +19,15 @@ type point = {
 val sweep :
   ?objective:Fitness.objective ->
   ?ga_params:Ga.params ->
+  ?jobs:int ->
   model:Compass_nn.Graph.t ->
   chips:Compass_arch.Config.chip list ->
   batches:int list ->
   unit ->
   point list
 (** Compile every (chip, batch) pair with the COMPASS scheme; order follows
-    the cartesian product (chips major). *)
+    the cartesian product (chips major).  [?jobs] forwards to
+    {!Compiler.compile} (GA worker domains). *)
 
 val pareto : point list -> point list
 (** Points not dominated under (maximize throughput, minimize energy per

@@ -24,6 +24,7 @@ type params = {
   schemes : mutation_scheme list;
   crossover_rate : float;
   seed : int;
+  jobs : int;
 }
 
 let default_params =
@@ -37,6 +38,7 @@ let default_params =
     schemes = all_schemes;
     crossover_rate = 0.;
     seed = 0xC0FFEE;
+    jobs = Pool.default_jobs ();
   }
 
 let quick_params =
@@ -50,6 +52,7 @@ let quick_params =
     schemes = all_schemes;
     crossover_rate = 0.;
     seed = 0xC0FFEE;
+    jobs = Pool.default_jobs ();
   }
 
 type individual = {
@@ -160,6 +163,13 @@ let mutate_fixed_random rng validity scores group =
   let suffix = random_cover rng validity ~lo:span.Partition.stop ~hi:m in
   Partition.of_spans (prefix @ (span :: suffix))
 
+let mutate scheme rng validity ~scores group =
+  match scheme with
+  | Merge -> mutate_merge rng scores group
+  | Split -> mutate_split rng scores group
+  | Move -> mutate_move rng scores group
+  | Fixed_random -> mutate_fixed_random rng validity scores group
+
 let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx validity ~batch =
   if params.population < 2 then invalid_arg "Ga.optimize: population < 2";
   if params.n_sel < 1 || params.n_sel > params.population then
@@ -168,18 +178,36 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx valid
   if params.schemes = [] then invalid_arg "Ga.optimize: no mutation schemes";
   if params.crossover_rate < 0. || params.crossover_rate > 1. then
     invalid_arg "Ga.optimize: crossover_rate out of range";
+  if params.jobs < 1 then invalid_arg "Ga.optimize: jobs < 1";
   let scheme_array = Array.of_list params.schemes in
   let rng = Rng.create params.seed in
-  let cache : (int * int, Estimator.span_perf) Hashtbl.t = Hashtbl.create 1024 in
+  let shared = Estimator.Span_cache.create ~batch () in
   let evaluations = ref 0 in
-  let evaluate group =
-    incr evaluations;
-    let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
-    { group; perf; fitness = Fitness.group_fitness objective perf }
+  Pool.with_pool ~jobs:params.jobs @@ fun pool ->
+  (* Candidate groups are proposed on the main domain (every RNG draw stays
+     on the main stream or on a per-candidate [Rng.split] of it, so the
+     result is bit-identical for any worker count) and evaluated in
+     parallel.  Workers read the run-wide span cache and record new spans
+     in domain-local caches, merged back between phases — no locking on
+     the hot path, and cache hits still accumulate across generations. *)
+  let evaluate_batch groups =
+    evaluations := !evaluations + Array.length groups;
+    let perfs, locals =
+      Pool.map_init pool
+        ~init:(fun () -> Estimator.Span_cache.create ~batch ())
+        ~f:(fun local group -> Estimator.evaluate_cached ~shared ~cache:local ctx ~batch group)
+        groups
+    in
+    List.iter (fun local -> Estimator.Span_cache.merge_into shared ~src:local) locals;
+    Array.map2
+      (fun group perf -> { group; perf; fitness = Fitness.group_fitness objective perf })
+      groups perfs
   in
   let total_units = Validity.size validity in
   let population =
-    ref (Array.init params.population (fun _ -> evaluate (random_group rng validity)))
+    ref
+      (evaluate_batch
+         (Array.init params.population (fun _ -> random_group (Rng.split rng) validity)))
   in
   let by_fitness arr = Array.sort (fun a b -> compare a.fitness b.fitness) arr in
   let history = ref [] in
@@ -203,42 +231,37 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx valid
        for i = 0 to total_units - 1 do
          profile.(i + 1) <- profile.(i) +. profile.(i + 1)
        done;
-       let mutate_once parent =
+       let propose_mutation crng parent =
          let scores =
            Fitness.partition_scores ~population_profile:profile objective parent.perf
          in
          let rec attempt tries =
-           if tries = 0 then evaluate (random_group rng validity)
+           if tries = 0 then random_group crng validity
            else
-             match
-               (match Rng.pick_array rng scheme_array with
-                | Merge -> mutate_merge rng scores parent.group
-                | Split -> mutate_split rng scores parent.group
-                | Move -> mutate_move rng scores parent.group
-                | Fixed_random -> mutate_fixed_random rng validity scores parent.group)
-             with
-             | child when Validity.group_valid validity child -> evaluate child
+             match mutate (Rng.pick_array crng scheme_array) crng validity ~scores parent.group with
+             | child when Validity.group_valid validity child -> child
              | _ -> attempt (tries - 1)
              | exception Invalid_argument _ -> attempt (tries - 1)
          in
          attempt params.mutation_retries
        in
-       let crossover_once () =
-         let a = Rng.pick_array rng selected in
-         let b = Rng.pick_array rng selected in
-         match crossover rng a.group b.group with
-         | child when Validity.group_valid validity child -> Some (evaluate child)
-         | _ -> None
-         | exception Invalid_argument _ -> None
+       (* Each offspring draws from its own split stream, so a candidate's
+          draw count never shifts its siblings' randomness. *)
+       let propose_offspring () =
+         let crng = Rng.split rng in
+         if params.crossover_rate > 0. && Rng.float crng 1. < params.crossover_rate then begin
+           let a = Rng.pick_array crng selected in
+           let b = Rng.pick_array crng selected in
+           match crossover crng a.group b.group with
+           | child when Validity.group_valid validity child -> child
+           | _ -> propose_mutation crng (Rng.pick_array crng selected)
+           | exception Invalid_argument _ ->
+             propose_mutation crng (Rng.pick_array crng selected)
+         end
+         else propose_mutation crng (Rng.pick_array crng selected)
        in
-       let offspring () =
-         if params.crossover_rate > 0. && Rng.float rng 1. < params.crossover_rate then
-           match crossover_once () with
-           | Some child -> child
-           | None -> mutate_once (Rng.pick_array rng selected)
-         else mutate_once (Rng.pick_array rng selected)
-       in
-       let mutants = Array.init params.n_mut (fun _ -> offspring ()) in
+       let candidates = Array.init params.n_mut (fun _ -> propose_offspring ()) in
+       let mutants = evaluate_batch candidates in
        let best_now = pop.(0).fitness in
        history :=
          {
@@ -264,5 +287,5 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx valid
     history = List.rev !history;
     generations_run = !generations_run;
     evaluations = !evaluations;
-    cache_spans = Hashtbl.length cache;
+    cache_spans = Estimator.Span_cache.length shared;
   }

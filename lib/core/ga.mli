@@ -42,6 +42,13 @@ type params = {
           two survivors instead of mutation.  The paper's GA is
           mutation-only; this is an extension, disabled (0.0) by default. *)
   seed : int;
+  jobs : int;
+      (** Worker-domain count for candidate evaluation (the [-j] knob).
+          [1] runs fully sequentially.  The search result is bit-identical
+          for every [jobs] value: mutation and selection stay on the main
+          domain, each candidate mutates from its own [Rng.split] stream,
+          and workers only run the pure estimator.  Both presets default
+          to [Pool.default_jobs ()] ([COMPASS_JOBS], else 1). *)
 }
 
 val default_params : params
@@ -72,6 +79,20 @@ type result = {
   cache_spans : int;  (** Distinct spans evaluated (cache size). *)
 }
 
+val mutate :
+  mutation_scheme ->
+  Compass_util.Rng.t ->
+  Validity.t ->
+  scores:float array ->
+  Partition.t ->
+  Partition.t
+(** Apply one mutation scheme to a group whose per-partition scores are
+    [scores] (one per partition, higher = worse).  The result is always a
+    contiguous cover of the unit range but may violate the validity map
+    (the search retries in that case).  Raises [Invalid_argument] when the
+    scheme is inapplicable (e.g. [Merge] on a single partition).  Exposed
+    for property tests and ablation studies. *)
+
 val optimize :
   ?params:params ->
   ?objective:Fitness.objective ->
@@ -79,5 +100,8 @@ val optimize :
   Validity.t ->
   batch:int ->
   result
-(** Run the search.  Raises [Invalid_argument] on inconsistent parameters
-    (e.g. [n_sel > population]). *)
+(** Run the search.  With [params.jobs > 1], candidate evaluation fans out
+    over that many domains; the result (best plan, history, evaluation and
+    cache counts) is bit-identical to the sequential run for the same
+    seed.  Raises [Invalid_argument] on inconsistent parameters
+    (e.g. [n_sel > population] or [jobs < 1]). *)

@@ -1,0 +1,163 @@
+let max_jobs = 128
+
+let default_jobs () =
+  match Sys.getenv_opt "COMPASS_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some 0 -> min max_jobs (Domain.recommended_domain_count ())
+    | Some j when j >= 1 -> min max_jobs j
+    | Some _ | None -> 1)
+
+(* One phase = one [map_init] call.  Workers block on [work] until the
+   epoch advances, run the current body (which pulls item indices from an
+   atomic counter until exhausted), then report completion on [done_].
+   Pre-counting [running] before the broadcast ensures the caller cannot
+   observe the phase as finished before a worker has even started. *)
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable body : (unit -> unit) option;
+  mutable epoch : int;
+  mutable running : int;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+let worker_loop t =
+  let rec loop seen =
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.epoch = seen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stopped then Mutex.unlock t.mutex
+    else begin
+      let epoch = t.epoch in
+      let body = Option.get t.body in
+      Mutex.unlock t.mutex;
+      body ();
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.done_;
+      Mutex.unlock t.mutex;
+      loop epoch
+    end
+  in
+  loop 0
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      n_jobs = min max_jobs jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      body = None;
+      epoch = 0;
+      running = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (t.n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  let to_join =
+    Mutex.lock t.mutex;
+    let ds = t.domains in
+    t.domains <- [];
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    ds
+  in
+  List.iter Domain.join to_join
+
+(* Run [body] on every domain of the pool and wait until all have
+   drained.  [body] must never raise. *)
+let run_phase t body =
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: used after shutdown"
+  end;
+  t.body <- Some body;
+  t.epoch <- t.epoch + 1;
+  t.running <- t.n_jobs - 1;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  body ();
+  Mutex.lock t.mutex;
+  while t.running > 0 do
+    Condition.wait t.done_ t.mutex
+  done;
+  t.body <- None;
+  Mutex.unlock t.mutex
+
+(* Keep the exception raised by the lowest item index, so the caller sees
+   the same failure regardless of scheduling. *)
+let rec record_failure slot i exn =
+  let cur = Atomic.get slot in
+  match cur with
+  | Some (j, _) when j <= i -> ()
+  | _ -> if not (Atomic.compare_and_set slot cur (Some (i, exn))) then record_failure slot i exn
+
+let rec push_state slot s =
+  let cur = Atomic.get slot in
+  if not (Atomic.compare_and_set slot cur (s :: cur)) then push_state slot s
+
+let map_init t ~init ~f xs =
+  let n = Array.length xs in
+  if t.stopped then invalid_arg "Pool: used after shutdown";
+  if n = 0 then ([||], [])
+  else if t.n_jobs = 1 then begin
+    let s = init () in
+    (Array.map (f s) xs, [ s ])
+  end
+  else begin
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let states = Atomic.make [] in
+    let failure = Atomic.make None in
+    let body () =
+      let local = ref None in
+      let state () =
+        match !local with
+        | Some s -> s
+        | None ->
+          let s = init () in
+          local := Some s;
+          push_state states s;
+          s
+      in
+      let rec pull () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f (state ()) xs.(i) with
+          | y -> out.(i) <- Some y
+          | exception exn -> record_failure failure i exn);
+          pull ()
+        end
+      in
+      pull ()
+    in
+    run_phase t body;
+    match Atomic.get failure with
+    | Some (_, exn) -> raise exn
+    | None ->
+      (Array.map (function Some y -> y | None -> assert false) out, Atomic.get states)
+  end
+
+let map t f xs = fst (map_init t ~init:(fun () -> ()) ~f:(fun () x -> f x) xs)
+
+let map_reduce t ~map:f ~reduce ~init xs = Array.fold_left reduce init (map t f xs)
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

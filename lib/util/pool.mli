@@ -1,0 +1,57 @@
+(** A persistent domain pool for data-parallel array operations.
+
+    The compiler's hot path — GA fitness evaluation — is embarrassingly
+    parallel across individuals.  A pool owns [jobs - 1] worker domains
+    (the calling domain participates as the extra worker) that persist
+    across calls, so per-generation dispatch costs a mutex round-trip
+    rather than a domain spawn.  At [jobs = 1] no domains are spawned and
+    every operation degrades to the plain sequential equivalent.
+
+    Work items are pulled from a shared atomic counter, so scheduling is
+    nondeterministic — but results are written back by index and every
+    operation preserves input order, which keeps callers deterministic as
+    long as [f] is pure (or keeps its effects in the per-domain state of
+    [map_init]).
+
+    Exceptions raised by [f] are caught on the worker, and the one raised
+    by the {e lowest} input index is re-raised on the caller once the
+    phase has drained — deterministic for any worker count. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The worker count selected by the environment: [COMPASS_JOBS] parsed
+    as a positive integer (clamped to [\[1, 128\]]), [0] meaning
+    [Domain.recommended_domain_count ()], and [1] when unset or
+    malformed.  Read on every call. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains.  Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] is [Array.map f xs], evaluated on all domains of the
+    pool.  Results are in input order. *)
+
+val map_init : t -> init:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array * 's list
+(** [map_init t ~init ~f xs] is [map] with per-domain local state: each
+    domain that processes at least one item calls [init] once (per
+    [map_init] call) and threads its state through every item it runs.
+    Returns the mapped array (input order) and the local states (order
+    unspecified) for the caller to merge — the GA uses this for
+    domain-local span caches. *)
+
+val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+(** [map_reduce t ~map ~reduce ~init xs] maps in parallel, then folds the
+    results sequentially in input order — deterministic even for
+    non-associative [reduce]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; using the pool after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'r) -> 'r
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
+    exit, including on exceptions. *)

@@ -56,16 +56,82 @@ let test_span_cache_consistency () =
   let _, v, ctx = setup "resnet18" Config.chip_m in
   let g = Baselines.layerwise v in
   let direct = Estimator.evaluate ctx ~batch:8 g in
-  let cache = Hashtbl.create 64 in
+  let cache = Estimator.Span_cache.create ~batch:8 () in
   let cached = Estimator.evaluate_cached ~cache ctx ~batch:8 g in
   Alcotest.(check (float 1e-12)) "same latency" direct.Estimator.batch_latency_s
     cached.Estimator.batch_latency_s;
   Alcotest.(check (float 1e-12)) "same energy" direct.Estimator.energy_j
     cached.Estimator.energy_j;
+  Alcotest.(check int) "spans cached" (Partition.partition_count g)
+    (Estimator.Span_cache.length cache);
   (* Second call hits the cache with identical results. *)
   let again = Estimator.evaluate_cached ~cache ctx ~batch:8 g in
   Alcotest.(check (float 0.)) "cache stable" cached.Estimator.batch_latency_s
     again.Estimator.batch_latency_s
+
+(* Regression for the keying hazard: span_perf results depend on batch and
+   options, so a cache must refuse to serve a differently-configured
+   evaluation instead of silently returning stale entries. *)
+let test_span_cache_brand_mismatch () =
+  let _, v, ctx = setup "resnet18" Config.chip_m in
+  let g = Baselines.layerwise v in
+  let cache = Estimator.Span_cache.create ~batch:8 () in
+  ignore (Estimator.evaluate_cached ~cache ctx ~batch:8 g);
+  Alcotest.(check bool) "batch mismatch rejected" true
+    (try
+       ignore (Estimator.evaluate_cached ~cache ctx ~batch:16 g);
+       false
+     with Invalid_argument _ -> true);
+  let other_options =
+    Estimator.Span_cache.create
+      ~options:{ Estimator.default_options with Estimator.charge_writes = false }
+      ~batch:8 ()
+  in
+  Alcotest.(check bool) "shared options mismatch rejected" true
+    (try
+       ignore (Estimator.evaluate_cached ~shared:other_options ~cache ctx ~batch:8 g);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "merge brand mismatch rejected" true
+    (try
+       Estimator.Span_cache.merge_into cache ~src:other_options;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad batch rejected" true
+    (try
+       ignore (Estimator.Span_cache.create ~batch:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_span_cache_options_respected () =
+  (* A cache branded with non-default options evaluates under them. *)
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let g = Baselines.greedy v in
+  let options = { Estimator.default_options with Estimator.charge_writes = false } in
+  let cache = Estimator.Span_cache.create ~options ~batch:16 () in
+  let cached = Estimator.evaluate_cached ~cache ctx ~batch:16 g in
+  let direct = Estimator.evaluate ~options ctx ~batch:16 g in
+  Alcotest.(check (float 1e-12)) "options applied" direct.Estimator.batch_latency_s
+    cached.Estimator.batch_latency_s
+
+let test_span_cache_shared_and_merge () =
+  let _, v, ctx = setup "resnet18" Config.chip_m in
+  let g = Baselines.layerwise v in
+  let shared = Estimator.Span_cache.create ~batch:8 () in
+  let local = Estimator.Span_cache.create ~batch:8 () in
+  let p1 = Estimator.evaluate_cached ~shared ~cache:local ctx ~batch:8 g in
+  Alcotest.(check int) "misses recorded locally" (Partition.partition_count g)
+    (Estimator.Span_cache.length local);
+  Alcotest.(check int) "shared untouched" 0 (Estimator.Span_cache.length shared);
+  Estimator.Span_cache.merge_into shared ~src:local;
+  Alcotest.(check int) "merged" (Partition.partition_count g)
+    (Estimator.Span_cache.length shared);
+  (* After the merge a fresh local cache stays empty: every span hits. *)
+  let local2 = Estimator.Span_cache.create ~batch:8 () in
+  let p2 = Estimator.evaluate_cached ~shared ~cache:local2 ctx ~batch:8 g in
+  Alcotest.(check int) "all hits" 0 (Estimator.Span_cache.length local2);
+  Alcotest.(check (float 0.)) "identical result" p1.Estimator.batch_latency_s
+    p2.Estimator.batch_latency_s
 
 let test_write_time_scales_with_weights () =
   let _, v, ctx = setup "vgg16" Config.chip_s in
@@ -291,6 +357,12 @@ let () =
           Alcotest.test_case "overlap bounds" `Quick
             test_group_latency_sums_spans_with_overlap;
           Alcotest.test_case "span cache consistent" `Quick test_span_cache_consistency;
+          Alcotest.test_case "span cache brand mismatch" `Quick
+            test_span_cache_brand_mismatch;
+          Alcotest.test_case "span cache options respected" `Quick
+            test_span_cache_options_respected;
+          Alcotest.test_case "span cache shared + merge" `Quick
+            test_span_cache_shared_and_merge;
           Alcotest.test_case "write time bound" `Quick test_write_time_scales_with_weights;
           Alcotest.test_case "bottlenecks positive" `Quick
             test_more_cores_not_slower_bottleneck;

@@ -78,6 +78,88 @@ let test_ga_deterministic () =
     (Partition.equal r1.Ga.best.Ga.group r2.Ga.best.Ga.group);
   Alcotest.(check (float 0.)) "same fitness" r1.Ga.best.Ga.fitness r2.Ga.best.Ga.fitness
 
+let check_results_identical label (r1 : Ga.result) (r2 : Ga.result) =
+  Alcotest.(check bool) (label ^ ": same best group") true
+    (Partition.equal r1.Ga.best.Ga.group r2.Ga.best.Ga.group);
+  Alcotest.(check (float 0.)) (label ^ ": same fitness") r1.Ga.best.Ga.fitness
+    r2.Ga.best.Ga.fitness;
+  Alcotest.(check int) (label ^ ": same generations") r1.Ga.generations_run
+    r2.Ga.generations_run;
+  Alcotest.(check int) (label ^ ": same evaluations") r1.Ga.evaluations r2.Ga.evaluations;
+  Alcotest.(check int) (label ^ ": same cache size") r1.Ga.cache_spans r2.Ga.cache_spans;
+  Alcotest.(check int) (label ^ ": same history length")
+    (List.length r1.Ga.history) (List.length r2.Ga.history);
+  List.iter2
+    (fun (g1 : Ga.generation_record) (g2 : Ga.generation_record) ->
+      let tag = Printf.sprintf "%s gen %d" label g1.Ga.generation in
+      Alcotest.(check int) (tag ^ ": index") g1.Ga.generation g2.Ga.generation;
+      Alcotest.(check (float 0.)) (tag ^ ": best") g1.Ga.best_fitness g2.Ga.best_fitness;
+      Alcotest.(check (list (pair (float 0.) int)))
+        (tag ^ ": selected") g1.Ga.selected g2.Ga.selected;
+      Alcotest.(check (list (pair (float 0.) int)))
+        (tag ^ ": mutated") g1.Ga.mutated g2.Ga.mutated)
+    r1.Ga.history r2.Ga.history
+
+let test_ga_parallel_determinism () =
+  (* The headline guarantee: any worker count replays the same search. *)
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let run jobs = Ga.optimize ~params:{ (quick 5) with Ga.jobs } ctx v ~batch:16 in
+  let r1 = run 1 in
+  List.iter
+    (fun jobs -> check_results_identical (Printf.sprintf "jobs=%d" jobs) r1 (run jobs))
+    [ 2; 4 ]
+
+let prop_ga_parallel_determinism =
+  QCheck.Test.make ~name:"GA identical at jobs=1 and jobs=3" ~count:4
+    QCheck.(pair small_int bool)
+    (fun (seed, small_chip) ->
+      let chip = if small_chip then Config.chip_s else Config.chip_m in
+      let _, v, ctx = setup "resnet18" chip in
+      let tiny jobs =
+        {
+          (quick seed) with
+          Ga.population = 8;
+          Ga.generations = 4;
+          Ga.n_sel = 3;
+          Ga.n_mut = 5;
+          Ga.jobs = jobs;
+        }
+      in
+      let r1 = Ga.optimize ~params:(tiny 1) ctx v ~batch:8 in
+      let r3 = Ga.optimize ~params:(tiny 3) ctx v ~batch:8 in
+      Partition.equal r1.Ga.best.Ga.group r3.Ga.best.Ga.group
+      && r1.Ga.best.Ga.fitness = r3.Ga.best.Ga.fitness
+      && r1.Ga.history = r3.Ga.history
+      && r1.Ga.evaluations = r3.Ga.evaluations
+      && r1.Ga.cache_spans = r3.Ga.cache_spans)
+
+(* Mutation operators: whatever the scheme does, the child must remain a
+   contiguous cover of the unit range (validity is re-checked by the
+   search; coverage must never be lost). *)
+
+let prop_mutations_preserve_cover =
+  let _, v, _ = setup "resnet18" Config.chip_s in
+  QCheck.Test.make ~name:"mutation schemes preserve unit cover" ~count:100
+    QCheck.(pair small_int (int_bound 3))
+    (fun (seed, scheme_idx) ->
+      let scheme =
+        List.nth [ Ga.Merge; Ga.Split; Ga.Move; Ga.Fixed_random ] scheme_idx
+      in
+      let rng = Compass_util.Rng.create (succ seed) in
+      let parent = Validity.random_group rng v in
+      let scores =
+        Array.init (Partition.partition_count parent) (fun _ ->
+            Compass_util.Rng.float rng 1.)
+      in
+      match Ga.mutate scheme rng v ~scores parent with
+      | child ->
+        Partition.total_units child = Partition.total_units parent
+        && Partition.partition_count child >= 1
+      | exception Invalid_argument _ ->
+        (* Inapplicable on this parent (e.g. nothing to merge or split);
+           the search retries with another scheme. *)
+        true)
+
 let test_ga_beats_or_matches_random () =
   let _, v, ctx = setup "resnet18" Config.chip_s in
   let r = Ga.optimize ~params:(quick 2) ctx v ~batch:16 in
@@ -241,6 +323,9 @@ let () =
         [
           Alcotest.test_case "result valid" `Quick test_ga_result_valid;
           Alcotest.test_case "deterministic" `Quick test_ga_deterministic;
+          Alcotest.test_case "parallel determinism" `Quick test_ga_parallel_determinism;
+          QCheck_alcotest.to_alcotest prop_ga_parallel_determinism;
+          QCheck_alcotest.to_alcotest prop_mutations_preserve_cover;
           Alcotest.test_case "beats random search" `Quick test_ga_beats_or_matches_random;
           Alcotest.test_case "best monotone" `Quick test_ga_best_monotone_over_generations;
           Alcotest.test_case "population sizes" `Quick test_ga_population_sizes;

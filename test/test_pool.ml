@@ -1,0 +1,157 @@
+(* Tests for the persistent domain pool behind the parallel GA search. *)
+
+open Compass_util
+
+let seq_map f xs = Array.map f xs
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let xs = Array.init 257 (fun i -> i) in
+          let f x = (x * x) + 1 in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            (seq_map f xs) (Pool.map pool f xs)))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_tiny () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "singleton" [| 10 |] (Pool.map pool (fun x -> x * 10) [| 1 |]))
+
+let test_pool_is_persistent () =
+  (* Many phases on one pool; workers must survive between calls. *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 20 do
+        let xs = Array.init 50 (fun i -> i) in
+        let expected = seq_map (fun x -> x + round) xs in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          expected
+          (Pool.map pool (fun x -> x + round) xs)
+      done)
+
+let test_map_init_states () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 100 (fun i -> i) in
+      let out, states =
+        Pool.map_init pool
+          ~init:(fun () -> ref 0)
+          ~f:(fun acc x ->
+            incr acc;
+            x * 2)
+          xs
+      in
+      Alcotest.(check (array int)) "results ordered" (seq_map (fun x -> x * 2) xs) out;
+      let n_states = List.length states in
+      Alcotest.(check bool) "at most jobs states" true (n_states >= 1 && n_states <= 4);
+      (* Every item was processed by exactly one domain-local state. *)
+      Alcotest.(check int) "items partitioned over states" 100
+        (List.fold_left (fun acc r -> acc + !r) 0 states))
+
+let test_map_init_sequential_single_state () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let _, states =
+        Pool.map_init pool ~init:(fun () -> ()) ~f:(fun () x -> x) (Array.init 10 Fun.id)
+      in
+      Alcotest.(check int) "one state at j=1" 1 (List.length states))
+
+let test_map_reduce () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let xs = Array.init 1000 (fun i -> i + 1) in
+          let total =
+            Pool.map_reduce pool ~map:(fun x -> x * x) ~reduce:( + ) ~init:0 xs
+          in
+          let expected = Array.fold_left (fun acc x -> acc + (x * x)) 0 xs in
+          Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) expected total))
+    [ 1; 4 ]
+
+exception Boom of int
+
+let test_exception_lowest_index_wins () =
+  (* Whatever the scheduling, the caller sees the failure of the lowest
+     input index — deterministic replay even for errors. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let xs = Array.init 200 (fun i -> i) in
+          match Pool.map pool (fun x -> if x >= 41 then raise (Boom x) else x) xs with
+          | _ -> Alcotest.fail "expected an exception"
+          | exception Boom i ->
+            Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 41 i))
+    [ 1; 2; 4 ];
+  (* The pool survives a failing phase. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> failwith "boom") [| 1; 2; 3 |]) with _ -> ());
+      Alcotest.(check (array int)) "usable after failure" [| 2; 4; 6 |]
+        (Pool.map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_create_guards () =
+  Alcotest.(check bool) "jobs 0 rejected" true
+    (try
+       ignore (Pool.create ~jobs:0);
+       false
+     with Invalid_argument _ -> true);
+  let pool = Pool.create ~jobs:2 in
+  Alcotest.(check int) "jobs recorded" 2 (Pool.jobs pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "use after shutdown rejected" true
+    (try
+       ignore (Pool.map pool Fun.id [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_default_jobs_env () =
+  let with_env value f =
+    (match value with
+    | Some v -> Unix.putenv "COMPASS_JOBS" v
+    | None -> Unix.putenv "COMPASS_JOBS" "");
+    Fun.protect ~finally:(fun () -> Unix.putenv "COMPASS_JOBS" "") f
+  in
+  with_env (Some "4") (fun () ->
+      Alcotest.(check int) "COMPASS_JOBS=4" 4 (Pool.default_jobs ()));
+  with_env (Some " 2 ") (fun () ->
+      Alcotest.(check int) "whitespace tolerated" 2 (Pool.default_jobs ()));
+  with_env (Some "nope") (fun () ->
+      Alcotest.(check int) "malformed -> 1" 1 (Pool.default_jobs ()));
+  with_env (Some "-3") (fun () ->
+      Alcotest.(check int) "negative -> 1" 1 (Pool.default_jobs ()));
+  with_env (Some "0") (fun () ->
+      Alcotest.(check bool) "0 -> recommended >= 1" true (Pool.default_jobs () >= 1));
+  with_env (Some "100000") (fun () ->
+      Alcotest.(check int) "clamped" 128 (Pool.default_jobs ()))
+
+let prop_map_order_preserved =
+  QCheck.Test.make ~name:"pool map preserves order" ~count:30
+    QCheck.(pair (int_range 1 6) (list small_int))
+    (fun (jobs, xs) ->
+      let xs = Array.of_list xs in
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map pool (fun x -> x + 7) xs = seq_map (fun x -> x + 7) xs))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "empty and tiny" `Quick test_map_empty_and_tiny;
+          Alcotest.test_case "persistent workers" `Quick test_pool_is_persistent;
+          Alcotest.test_case "map_init states" `Quick test_map_init_states;
+          Alcotest.test_case "map_init sequential" `Quick
+            test_map_init_sequential_single_state;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          QCheck_alcotest.to_alcotest prop_map_order_preserved;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "exceptions deterministic" `Quick
+            test_exception_lowest_index_wins;
+          Alcotest.test_case "create guards" `Quick test_create_guards;
+          Alcotest.test_case "COMPASS_JOBS parsing" `Quick test_default_jobs_env;
+        ] );
+    ]

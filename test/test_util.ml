@@ -78,6 +78,25 @@ let test_rng_split_diverges () =
   let ys = List.init 20 (fun _ -> Rng.int b 1000) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+let prop_rng_split_pairwise_independent =
+  (* The GA hands every candidate its own split stream; sibling splits and
+     the parent must all produce distinct prefixes or candidates would be
+     correlated. *)
+  QCheck.Test.make ~name:"rng split streams pairwise distinct" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let parent = Rng.create seed in
+      let c1 = Rng.split parent in
+      let c2 = Rng.split parent in
+      let c3 = Rng.split parent in
+      let prefix rng = List.init 8 (fun _ -> Rng.float rng 1.) in
+      let streams = [ prefix parent; prefix c1; prefix c2; prefix c3 ] in
+      let rec pairwise_distinct = function
+        | [] -> true
+        | s :: rest -> List.for_all (fun t -> s <> t) rest && pairwise_distinct rest
+      in
+      pairwise_distinct streams)
+
 (* Stats *)
 
 let test_stats_mean () =
@@ -218,6 +237,7 @@ let () =
           Alcotest.test_case "sample without replacement" `Quick
             test_rng_sample_without_replacement;
           Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          QCheck_alcotest.to_alcotest prop_rng_split_pairwise_independent;
           QCheck_alcotest.to_alcotest prop_rng_int_in_range;
           QCheck_alcotest.to_alcotest prop_shuffle_preserves_elements;
         ] );
