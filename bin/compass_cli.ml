@@ -28,8 +28,20 @@ let scheme_arg =
   Arg.(value & opt string "compass" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
 let objective_arg =
-  let doc = "GA objective: latency, energy or edp." in
+  let doc = "GA objective: latency, energy, edp or wear." in
   Arg.(value & opt string "latency" & info [ "o"; "objective" ] ~docv:"OBJ" ~doc)
+
+let faults_arg =
+  let doc =
+    "Fault scenario, e.g. 'dead:3,7', 'degraded:1=4', 'random:dead=2', \
+     'dead:3;endurance:1e6', or 'none' (grammar in docs/FORMATS.md).  The plan \
+     routes around dead and degraded cores."
+  in
+  Arg.(value & opt string "none" & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for 'random:' fault clauses (deterministic scenarios)." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
 
 let seed_arg =
   let doc = "GA random seed." in
@@ -81,6 +93,22 @@ let lookup_chip label =
     Printf.eprintf "unknown chip %s (try S, M, L)\n" label;
     exit 2
 
+(* Misuse (unknown scheme names, bad fault specs, infeasible fault
+   scenarios, ...) surfaces as Invalid_argument from the library; turn it
+   into a one-line error and exit 2 instead of an uncaught backtrace. *)
+let guard f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "compass: %s\n" msg;
+    exit 2
+
+let realize_faults spec ~seed chip =
+  let f =
+    Compass_arch.Fault.of_string spec ~seed ~cores:chip.Compass_arch.Config.cores
+      ~macros_per_core:chip.Compass_arch.Config.core.Compass_arch.Config.macros_per_core
+  in
+  if Compass_arch.Fault.is_trivial f then None else Some f
+
 let ga_params ~quick ~seed ~jobs =
   let base = if quick then Ga.quick_params else Ga.default_params in
   let jobs =
@@ -117,15 +145,21 @@ let compile_cmd =
       value & opt (some string) None
       & info [ "save" ] ~docv:"PATH" ~doc:"Archive the compiled plan (see Plan_text).")
   in
-  let run model chip batch scheme objective seed jobs simulate quick save tech =
+  let run model chip batch scheme objective seed jobs simulate quick save tech faults
+      fault_seed =
+   guard @@ fun () ->
     let model = lookup_model model in
     let chip = retarget ~tech:(lookup_tech tech) (lookup_chip chip) in
     let scheme = Compiler.scheme_of_string scheme in
     let objective = Fitness.objective_of_string objective in
+    let faults = realize_faults faults ~seed:fault_seed chip in
+    (match faults with
+    | Some f -> Format.printf "%a@." Compass_arch.Fault.pp f
+    | None -> ());
     let plan =
       Compiler.compile ~objective
         ~ga_params:(ga_params ~quick ~seed ~jobs)
-        ~model ~chip ~batch scheme
+        ?faults ~model ~chip ~batch scheme
     in
     Format.printf "%a" Compiler.pp_plan plan;
     (match plan.Compiler.ga with
@@ -153,7 +187,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile one workload with one scheme")
     Term.(
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
-      $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg)
+      $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg
+      $ faults_arg $ fault_seed_arg)
 
 (* plan: reload an archived plan *)
 
@@ -185,15 +220,20 @@ let validity_cmd =
   let cells_arg =
     Arg.(value & opt int 32 & info [ "cells" ] ~docv:"N" ~doc:"Heat-map resolution.")
   in
-  let run model chip cells =
+  let run model chip cells faults fault_seed =
+   guard @@ fun () ->
     let model = lookup_model model in
     let chip = lookup_chip chip in
+    let faults = realize_faults faults ~seed:fault_seed chip in
+    (match faults with
+    | Some f -> Format.printf "%a@." Compass_arch.Fault.pp f
+    | None -> ());
     let units = Unit_gen.generate model chip in
-    let v = Validity.build units in
+    let v = Validity.build ?faults units in
     print_endline (Validity.render ~cells v)
   in
   Cmd.v (Cmd.info "validity" ~doc:"Render the partition validity map (Fig. 5)")
-    Term.(const run $ model_arg $ chip_arg $ cells_arg)
+    Term.(const run $ model_arg $ chip_arg $ cells_arg $ faults_arg $ fault_seed_arg)
 
 (* schedule *)
 
@@ -202,6 +242,7 @@ let schedule_cmd =
     Arg.(value & flag & info [ "listing" ] ~doc:"Dump the per-core instruction listings.")
   in
   let run model chip batch scheme seed jobs quick listing =
+   guard @@ fun () ->
     let model = lookup_model model in
     let chip = lookup_chip chip in
     let scheme = Compiler.scheme_of_string scheme in
@@ -280,6 +321,7 @@ let explore_cmd =
       & info [ "target" ] ~docv:"INF/S" ~doc:"Find the smallest chip meeting this throughput.")
   in
   let run model seed jobs quick target =
+   guard @@ fun () ->
     let model = lookup_model model in
     let chips = List.map snd Compass_arch.Config.presets in
     let points =
@@ -323,6 +365,7 @@ let sweep_cmd =
       & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the rows as CSV.")
   in
   let run models chips batch seed jobs quick csv =
+   guard @@ fun () ->
     let rows = ref [] in
     List.iter
       (fun mname ->

@@ -1,0 +1,98 @@
+(* Fault-aware compilation: surviving dead and degraded cores.
+
+   Crossbar macros wear out and cores fail; this walkthrough shows the
+   three ways the compiler deals with that:
+
+   1. compile *around* a known fault scenario (`Compiler.compile ~faults`),
+   2. *repair* an existing plan when a chip degrades in the field
+      (`Compiler.repair`, `Compiler.measure_with_faults`),
+   3. account for write endurance and project device lifetime
+      (`Report.endurance_table`, the `wear` objective).
+
+   Run with:  dune exec examples/fault_tolerance.exe *)
+
+open Compass_core
+open Compass_arch
+
+let model = Compass_nn.Models.resnet18 ()
+let chip = Config.chip_m
+let batch = 16
+let mpc = chip.Config.core.Config.macros_per_core
+
+let () =
+  (* -- 1. Compile against a known scenario -------------------------- *)
+  (* Scenarios are one-line specs (grammar in docs/FORMATS.md): cores 3
+     and 11 are dead, core 5 has only 8 of its 16 macros left. *)
+  let scenario = "dead:3,11;degraded:5=8" in
+  let faults = Fault.of_string scenario ~seed:0 ~cores:chip.Config.cores ~macros_per_core:mpc in
+  Format.printf "scenario %S: %a@." scenario Fault.pp faults;
+
+  let healthy = Compiler.compile ~model ~chip ~batch Compiler.Greedy in
+  let faulted = Compiler.compile ~faults ~model ~chip ~batch Compiler.Greedy in
+  let latency p = p.Compiler.perf.Estimator.batch_latency_s in
+  Printf.printf "healthy chip: %s/batch;  faulted chip: %s/batch (%.2fx)\n"
+    (Compass_util.Units.time_to_string (latency healthy))
+    (Compass_util.Units.time_to_string (latency faulted))
+    (latency faulted /. latency healthy);
+
+  (* The plan provably avoids the dead cores: re-pack each partition and
+     look at the per-core tile counts. *)
+  List.iter
+    (fun (s : Partition.span) ->
+      match
+        Mapping.pack ~faults faulted.Compiler.units ~start_:s.Partition.start_
+          ~stop:s.Partition.stop ~replication:(fun _ -> 1)
+      with
+      | Ok m ->
+        assert (m.Mapping.tiles_used.(3) = 0);
+        assert (m.Mapping.tiles_used.(11) = 0);
+        assert (m.Mapping.tiles_used.(5) <= 8)
+      | Error e -> failwith e)
+    (Partition.spans faulted.Compiler.group);
+  print_endline "every partition avoids cores 3/11 and stays within core 5's 8 macros";
+
+  (* -- 2. Field failure: repair the running plan -------------------- *)
+  (* The same scenario strikes a chip that is already serving the healthy
+     plan. `measure_with_faults` fail-stops the dead cores mid-simulation,
+     repairs the plan, and reruns. *)
+  let m = Compiler.measure healthy in
+  let at_s = m.Compiler.sim.Compass_isa.Sim.makespan_s /. 3. in
+  (match Compiler.measure_with_faults healthy ~at_s ~faults with
+  | Error e -> failwith e
+  | Ok run ->
+    Printf.printf "\ncores 3 and 11 fail-stop at t=%s:\n"
+      (Compass_util.Units.time_to_string at_s);
+    Printf.printf "  interrupted run dropped %d instructions\n"
+      run.Compiler.faulted_sim.Compass_isa.Sim.dropped_instructions;
+    let r = run.Compiler.repair in
+    Printf.printf "  repair strategy: %s (degradation %.2fx)\n"
+      (match r.Compiler.strategy with
+      | Compiler.Unchanged -> "re-map only, partitioning kept"
+      | Compiler.Remapped n -> Printf.sprintf "%d span(s) re-split" n
+      | Compiler.Recompiled -> "full recompile")
+      r.Compiler.degradation;
+    Printf.printf "  recovery latency (abort + rerun): %s\n"
+      (Compass_util.Units.time_to_string run.Compiler.recovery_latency_s));
+
+  (* -- 3. Endurance: how long until the chip wears out? ------------- *)
+  (* ReRAM cells survive ~1e6 writes. Partitioned execution rewrites
+     macros once per batch, so lifetime depends on the partitioning. *)
+  let budget = Option.get Technology.reram.Technology.endurance_cycles in
+  let wear_faults =
+    Fault.make ~endurance_budget:budget (Array.make chip.Config.cores Fault.Healthy)
+  in
+  let plan = Compiler.compile ~faults:wear_faults ~model ~chip ~batch Compiler.Greedy in
+  let e = plan.Compiler.perf.Estimator.endurance in
+  Printf.printf "\nReRAM endurance (budget %.0e writes/macro):\n" budget;
+  Printf.printf "  %.1f macro writes per inference, worst macro %.3f/inference\n"
+    e.Estimator.writes_per_inference e.Estimator.max_writes_per_macro_per_inference;
+  (match e.Estimator.projected_lifetime_inferences with
+  | Some n ->
+    Printf.printf "  projected lifetime: %.3g inferences (%.1f days at 100 inf/s)\n" n
+      (n /. 100. /. 86400.)
+  | None -> ());
+  print_newline ();
+  Compass_util.Table.print (Report.endurance_table [ plan ]);
+  print_endline
+    "\nto trade latency for lifetime, search with the wear objective:\n\
+     Compiler.compile ~objective:Fitness.Wear (CLI: --objective wear)"

@@ -27,27 +27,31 @@ type t = {
   group : Partition.t;
   perf : Estimator.perf;
   ga : Ga.result option;
+  faults : Compass_arch.Fault.t option;
 }
 
-let compile ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params) ?jobs ~model
-    ~chip ~batch scheme =
+let options_for faults = { Estimator.default_options with Estimator.faults }
+
+let compile ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params) ?jobs ?faults
+    ~model ~chip ~batch scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
   let ga_params =
     match jobs with Some j -> { ga_params with Ga.jobs = j } | None -> ga_params
   in
+  let options = options_for faults in
   let units = Unit_gen.generate model chip in
-  let validity = Validity.build units in
+  let validity = Validity.build ?faults units in
   let ctx = Dataflow.context units in
   let group, ga =
     match scheme with
     | Greedy -> (Baselines.greedy validity, None)
     | Layerwise -> (Baselines.layerwise validity, None)
     | Compass ->
-      let result = Ga.optimize ~params:ga_params ~objective ctx validity ~batch in
+      let result = Ga.optimize ~params:ga_params ~objective ~options ctx validity ~batch in
       (result.Ga.best.Ga.group, Some result)
   in
-  let perf = Estimator.evaluate ctx ~batch group in
-  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga }
+  let perf = Estimator.evaluate ~options ctx ~batch group in
+  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga; faults }
 
 type measurement = {
   schedule : Scheduler.t;
@@ -55,13 +59,117 @@ type measurement = {
   dram : Compass_dram.Controller.stats;
 }
 
-let schedule ?chunks t = Scheduler.build t.ctx t.group ~batch:t.batch ?chunks ()
+let schedule ?chunks t =
+  Scheduler.build ?faults:t.faults t.ctx t.group ~batch:t.batch ?chunks ()
 
 let measure ?chunks t =
   let sched = schedule ?chunks t in
   let sim = Scheduler.simulate t.ctx sched in
   let dram = Scheduler.dram_stats t.ctx sim in
   { schedule = sched; sim; dram }
+
+type repair_strategy =
+  | Unchanged
+  | Remapped of int
+  | Recompiled
+
+type repair = {
+  plan : t;
+  strategy : repair_strategy;
+  latency_before_s : float;
+  latency_after_s : float;
+  degradation : float;
+}
+
+let repair ?ga_params ?(recompile_above = 1.5) t ~faults =
+  if recompile_above < 0. then invalid_arg "Compiler.repair: recompile_above < 0";
+  match Validity.build ~faults t.units with
+  | exception Invalid_argument msg -> Error msg
+  | validity -> (
+    let options = options_for (Some faults) in
+    let before = t.perf.Estimator.batch_latency_s in
+    let finish strategy plan =
+      let after = plan.perf.Estimator.batch_latency_s in
+      Ok
+        {
+          plan;
+          strategy;
+          latency_before_s = before;
+          latency_after_s = after;
+          degradation = after /. before;
+        }
+    in
+    let recompile () =
+      let plan =
+        compile ?ga_params ~objective:t.objective ~faults ~model:t.model ~chip:t.chip
+          ~batch:t.batch t.scheme
+      in
+      finish Recompiled plan
+    in
+    (* Spans still valid under the degraded chip keep their boundaries (the
+       estimator re-maps them around the faulty cores); broken spans are
+       re-split locally with a greedy walk over the faulted validity map,
+       which always succeeds once the map builds. *)
+    let resplit = ref 0 in
+    let respan (s : Partition.span) =
+      if Validity.is_valid validity ~start_:s.Partition.start_ ~stop:s.Partition.stop then
+        [ s ]
+      else begin
+        incr resplit;
+        let rec walk acc pos =
+          if pos >= s.Partition.stop then List.rev acc
+          else
+            let next = min s.Partition.stop (Validity.max_end validity pos) in
+            walk ({ Partition.start_ = pos; stop = next } :: acc) next
+        in
+        walk [] s.Partition.start_
+      end
+    in
+    let spans = List.concat_map respan (Partition.spans t.group) in
+    match
+      let group = Partition.of_spans spans in
+      let perf = Estimator.evaluate ~options t.ctx ~batch:t.batch group in
+      { t with validity; group; perf; faults = Some faults }
+    with
+    | exception Invalid_argument msg -> Error msg
+    | plan ->
+      if !resplit = 0 then finish Unchanged plan
+      else if plan.perf.Estimator.batch_latency_s > recompile_above *. before then
+        recompile ()
+      else finish (Remapped !resplit) plan)
+
+type fault_run = {
+  faulted_sim : Compass_isa.Sim.result;
+  repair : repair;
+  repaired : measurement;
+  recovery_latency_s : float;
+}
+
+let measure_with_faults ?chunks ?ga_params ?recompile_above t ~at_s ~faults =
+  if Compass_arch.Fault.cores faults <> t.chip.Compass_arch.Config.cores then
+    invalid_arg "Compiler.measure_with_faults: fault scenario core count mismatch";
+  match repair ?ga_params ?recompile_above t ~faults with
+  | Error msg -> Error msg
+  | Ok r ->
+    let sched = schedule ?chunks t in
+    let fault_events =
+      List.init t.chip.Compass_arch.Config.cores (fun c ->
+          match Compass_arch.Fault.status faults c with
+          | Compass_arch.Fault.Dead -> Some { Compass_isa.Sim.at_s; victim = c }
+          | Compass_arch.Fault.Healthy | Compass_arch.Fault.Degraded _ -> None)
+      |> List.filter_map Fun.id
+    in
+    let faulted_sim = Compass_isa.Sim.run ~fault_events t.chip sched.Scheduler.programs in
+    let repaired = measure ?chunks r.plan in
+    Ok
+      {
+        faulted_sim;
+        repair = r;
+        repaired;
+        (* The interrupted batch drains, the repaired plan reruns it. *)
+        recovery_latency_s =
+          faulted_sim.Compass_isa.Sim.makespan_s +. repaired.sim.Compass_isa.Sim.makespan_s;
+      }
 
 type on_chip_report = {
   on_chip_perf : Estimator.perf;

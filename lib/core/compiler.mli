@@ -28,12 +28,15 @@ type t = {
   group : Partition.t;
   perf : Estimator.perf;
   ga : Ga.result option;  (** Present for the [Compass] scheme. *)
+  faults : Compass_arch.Fault.t option;
+      (** The fault scenario the plan was compiled (or repaired) under. *)
 }
 
 val compile :
   ?objective:Fitness.objective ->
   ?ga_params:Ga.params ->
   ?jobs:int ->
+  ?faults:Compass_arch.Fault.t ->
   model:Compass_nn.Graph.t ->
   chip:Compass_arch.Config.chip ->
   batch:int ->
@@ -42,7 +45,11 @@ val compile :
 (** Raises [Invalid_argument] for models without weighted layers or
     non-positive batch sizes.  [?jobs] overrides [ga_params.jobs] — the
     worker-domain count of the GA search (the CLI's [-j]; the compiled
-    plan is bit-identical for any value). *)
+    plan is bit-identical for any value).  [?faults] compiles for a
+    degraded chip: the validity map, GA search, replication and mapping
+    all use per-core effective capacities, so the plan routes around dead
+    and degraded cores.  Raises [Invalid_argument] when the scenario
+    leaves some unit with no core big enough to host it. *)
 
 type measurement = {
   schedule : Scheduler.t;
@@ -54,6 +61,63 @@ val schedule : ?chunks:int -> t -> Scheduler.t
 
 val measure : ?chunks:int -> t -> measurement
 (** Lower, simulate and replay the DRAM trace. *)
+
+(** {1 Plan repair under newly observed faults} *)
+
+type repair_strategy =
+  | Unchanged  (** Every span boundary survived; only the mapping moved. *)
+  | Remapped of int  (** [n] spans were re-split locally. *)
+  | Recompiled  (** Local repair degraded too much; full recompile ran. *)
+
+type repair = {
+  plan : t;  (** The repaired plan, carrying the fault scenario. *)
+  strategy : repair_strategy;
+  latency_before_s : float;  (** Estimated batch latency pre-fault. *)
+  latency_after_s : float;  (** Estimated batch latency after repair. *)
+  degradation : float;  (** [after / before] — the graceful-degradation cost. *)
+}
+
+val repair :
+  ?ga_params:Ga.params ->
+  ?recompile_above:float ->
+  t ->
+  faults:Compass_arch.Fault.t ->
+  (repair, string) result
+(** Adapt a compiled plan to newly observed [faults].  Spans still valid
+    under the degraded validity map keep their boundaries and are merely
+    re-mapped; broken spans are re-split with a greedy walk over the
+    faulted map.  If the repaired latency exceeds
+    [recompile_above] (default 1.5) times the original, a full
+    [compile ~faults] runs instead (set [recompile_above] to [0.] to force
+    it).  [Error] when the model cannot run on the degraded chip at all
+    (some unit fits no surviving core). *)
+
+type fault_run = {
+  faulted_sim : Compass_isa.Sim.result;
+      (** The original schedule executed with mid-run fault injection:
+          victims fail-stop at [at_s] and their remaining work is dropped
+          ([dropped_instructions]), but the chip drains without deadlock. *)
+  repair : repair;
+  repaired : measurement;  (** Full measurement of the repaired plan. *)
+  recovery_latency_s : float;
+      (** Drain time of the interrupted batch plus one repaired batch —
+          the latency cost of fail-stop-and-repair for the affected
+          inferences. *)
+}
+
+val measure_with_faults :
+  ?chunks:int ->
+  ?ga_params:Ga.params ->
+  ?recompile_above:float ->
+  t ->
+  at_s:float ->
+  faults:Compass_arch.Fault.t ->
+  (fault_run, string) result
+(** End-to-end fault drill: inject the scenario's dead cores into a
+    simulation of [t]'s schedule at time [at_s], then {!repair} the plan
+    and measure the repaired schedule.  Degraded (but alive) cores do not
+    fail-stop mid-run; they only constrain the repair.  [Error] as for
+    {!repair}. *)
 
 type on_chip_report = {
   on_chip_perf : Estimator.perf;

@@ -19,6 +19,8 @@ type span_perf = {
   io_dram_bytes : float;
   io_s : float;
   span_s : float;
+  tiles_per_core : int array;
+  wear_cost_s : float;
   mvm_energy_j : float;
   vfu_energy_j : float;
   write_energy_j : float;
@@ -30,9 +32,18 @@ type model_options = {
   write_overlap : bool;
   onchip_buffering : bool;
   charge_writes : bool;
+  faults : Fault.t option;
 }
 
-let default_options = { write_overlap = true; onchip_buffering = true; charge_writes = true }
+let default_options =
+  { write_overlap = true; onchip_buffering = true; charge_writes = true; faults = None }
+
+type endurance = {
+  macro_writes_per_batch : int;
+  writes_per_inference : float;
+  max_writes_per_macro_per_inference : float;
+  projected_lifetime_inferences : float option;
+}
 
 type perf = {
   batch : int;
@@ -43,6 +54,7 @@ type perf = {
   energy_per_sample_j : float;
   edp_j_s : float;
   energy_components : (string * float) list;
+  endurance : endurance;
 }
 
 let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
@@ -51,10 +63,10 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
   let chip = units.Unit_gen.chip in
   let io = Dataflow.span_io ctx ~start_ ~stop in
   let layers = Perf_model.span_layers ctx ~start_ ~stop in
-  let replication = Replication.allocate ctx ~batch ~start_ ~stop in
+  let replication = Replication.allocate ?faults:options.faults ctx ~batch ~start_ ~stop in
   let mapping =
     match
-      Mapping.pack units ~start_ ~stop
+      Mapping.pack ?faults:options.faults units ~start_ ~stop
         ~replication:(Replication.unit_replication replication units)
     with
     | Ok m -> m
@@ -157,6 +169,14 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
   in
   let dram_bytes = unique_weight_bytes +. io_dram_bytes in
   let bus_bytes = unique_weight_bytes +. io_bytes in
+  (* Per-sample macro-programming time: the wear-penalty surrogate the
+     [Fitness.Wear] objective minimizes.  Zero when writes are free
+     (all-on-chip mode pins weights once). *)
+  let wear_cost_s =
+    if options.charge_writes then
+      float_of_int mapping.Mapping.total_tiles *. Crossbar.write_latency_s xbar /. fbatch
+    else 0.
+  in
   {
     start_;
     stop;
@@ -176,12 +196,62 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
     io_dram_bytes;
     io_s;
     span_s;
+    tiles_per_core = Array.copy mapping.Mapping.tiles_used;
+    wear_cost_s;
     mvm_energy_j = Energy.mvm_j chip ~macro_ops;
     vfu_energy_j = Energy.vfu_j chip ~ops:vfu_ops;
     write_energy_j = Energy.weight_write_j chip ~bytes:programmed_bytes;
     bus_energy_j = Energy.bus_j chip ~bytes:bus_bytes;
     dram_energy_j = Compass_dram.Dram.analytic_energy_j dram_bytes;
   }
+
+(* Weight-replacement wear: each placed tile is one macro programming per
+   batch.  First-fit packing fills each core's macro slots from slot 0, so
+   slot [s] of core [c] is rewritten by every span using more than [s]
+   tiles on [c]; the busiest (core, slot) pair bounds device lifetime. *)
+let endurance_of ~options chip ~batch spans =
+  let no_wear =
+    {
+      macro_writes_per_batch = 0;
+      writes_per_inference = 0.;
+      max_writes_per_macro_per_inference = 0.;
+      projected_lifetime_inferences = None;
+    }
+  in
+  if not options.charge_writes then no_wear
+  else begin
+    let ncores = chip.Config.cores in
+    let nominal = chip.Config.core.Config.macros_per_core in
+    let slot_writes = Array.make_matrix ncores (max 1 nominal) 0 in
+    let total = ref 0 in
+    List.iter
+      (fun sp ->
+        Array.iteri
+          (fun c used ->
+            total := !total + used;
+            for slot = 0 to min used nominal - 1 do
+              slot_writes.(c).(slot) <- slot_writes.(c).(slot) + 1
+            done)
+          sp.tiles_per_core)
+      spans;
+    let worst =
+      Array.fold_left
+        (fun acc row -> Array.fold_left max acc row)
+        0 slot_writes
+    in
+    let fbatch = float_of_int batch in
+    let max_per_inference = float_of_int worst /. fbatch in
+    let budget = Option.bind options.faults Fault.endurance_budget in
+    {
+      macro_writes_per_batch = !total;
+      writes_per_inference = float_of_int !total /. fbatch;
+      max_writes_per_macro_per_inference = max_per_inference;
+      projected_lifetime_inferences =
+        (match budget with
+        | Some b when max_per_inference > 0. -> Some (b /. max_per_inference)
+        | _ -> None);
+    }
+  end
 
 let combine ?(options = default_options) ctx ~batch spans =
   let chip = (Dataflow.units ctx).Unit_gen.chip in
@@ -224,6 +294,7 @@ let combine ?(options = default_options) ctx ~batch spans =
     energy_per_sample_j = energy_j /. fbatch;
     edp_j_s = energy_j /. fbatch *. batch_latency_s;
     energy_components = components;
+    endurance = endurance_of ~options chip ~batch spans;
   }
 
 let evaluate ?(options = default_options) ctx ~batch group =
@@ -327,4 +398,14 @@ let pp_breakdown model ppf perf =
       (Units.time_to_string sp.io_s)
       layer_names
   in
-  List.iteri line perf.spans
+  List.iteri line perf.spans;
+  let e = perf.endurance in
+  if e.macro_writes_per_batch > 0 then begin
+    Format.fprintf ppf
+      "  endurance: %.1f macro writes/inference, worst macro %.2f writes/inference"
+      e.writes_per_inference e.max_writes_per_macro_per_inference;
+    (match e.projected_lifetime_inferences with
+    | Some n -> Format.fprintf ppf ", projected lifetime %.3g inferences" n
+    | None -> ());
+    Format.fprintf ppf "@."
+  end

@@ -50,6 +50,12 @@ type span_perf = {
           memory); everything else stays on chip and only crosses the bus. *)
   io_s : float;
   span_s : float;  (** write + max(compute, io): the span's raw latency. *)
+  tiles_per_core : int array;
+      (** Macros programmed on each core at every weight replacement
+          (replicas included) — the endurance-accounting input. *)
+  wear_cost_s : float;
+      (** Per-sample macro-programming time; the {!Fitness.Wear} penalty.
+          0 when writes are not charged. *)
   mvm_energy_j : float;
   vfu_energy_j : float;
   write_energy_j : float;  (** Macro programming. *)
@@ -68,10 +74,29 @@ type model_options = {
       (** Charge weight-write phases at all.  Disabled only by the
           all-on-chip (PUMA/PIMCOMP) execution mode, where weights are
           pinned once and reused forever. *)
+  faults : Compass_arch.Fault.t option;
+      (** Fault scenario: replication and mapping use per-core effective
+          capacities, and the scenario's endurance budget feeds lifetime
+          projection.  [None] (the default) is the pristine chip. *)
 }
 
 val default_options : model_options
-(** All features enabled — the COMPASS model. *)
+(** All features enabled, no faults — the COMPASS model. *)
+
+(** Wear accounting for the weight-replacement execution model: every
+    placed tile is one macro programming per batch.  First-fit packing
+    fills macro slots from 0, so the busiest (core, slot) pair bounds
+    device lifetime. *)
+type endurance = {
+  macro_writes_per_batch : int;
+      (** Macro programmings per batch, summed over spans and replicas. *)
+  writes_per_inference : float;  (** Total writes / batch. *)
+  max_writes_per_macro_per_inference : float;
+      (** Writes on the most-rewritten macro, per sample. *)
+  projected_lifetime_inferences : float option;
+      (** [budget / max_writes_per_macro_per_inference] when the fault
+          scenario carries an endurance budget (e.g. ReRAM ~1e6). *)
+}
 
 type perf = {
   batch : int;
@@ -82,6 +107,7 @@ type perf = {
   energy_per_sample_j : float;
   edp_j_s : float;  (** Energy per sample x per-sample latency. *)
   energy_components : (string * float) list;
+  endurance : endurance;
 }
 
 val span_perf :

@@ -2,18 +2,21 @@ type objective =
   | Latency
   | Energy
   | Edp
+  | Wear
 
 let objective_of_string s =
   match String.lowercase_ascii s with
   | "latency" | "throughput" -> Latency
   | "energy" | "power" -> Energy
   | "edp" -> Edp
+  | "wear" | "endurance" -> Wear
   | other -> invalid_arg ("Fitness.objective_of_string: " ^ other)
 
 let objective_to_string = function
   | Latency -> "latency"
   | Energy -> "energy"
   | Edp -> "edp"
+  | Wear -> "wear"
 
 let span_energy (sp : Estimator.span_perf) =
   sp.Estimator.mvm_energy_j +. sp.Estimator.vfu_energy_j +. sp.Estimator.write_energy_j
@@ -24,6 +27,11 @@ let span_fitness objective (sp : Estimator.span_perf) =
   | Latency -> sp.Estimator.span_s
   | Energy -> span_energy sp
   | Edp -> sp.Estimator.span_s *. span_energy sp
+  | Wear ->
+    (* Latency plus the per-sample macro-programming time: partitionings
+       that rewrite fewer (replicated) macros per inference wear the
+       devices less, so the GA wear-levels without abandoning speed. *)
+    sp.Estimator.span_s +. sp.Estimator.wear_cost_s
 
 let group_fitness objective (perf : Estimator.perf) =
   List.fold_left (fun acc sp -> acc +. span_fitness objective sp) 0. perf.Estimator.spans

@@ -8,10 +8,16 @@ type objective =
   | Latency  (** Batch makespan (the paper's throughput fitness). *)
   | Energy  (** Dynamic energy per batch. *)
   | Edp  (** Latency x energy surrogate. *)
+  | Wear
+      (** Latency plus a macro-programming wear penalty
+          ([Estimator.span_perf.wear_cost_s]): favors partitionings that
+          rewrite fewer macros per inference, extending ReRAM/PCM
+          lifetime. *)
 
 val objective_of_string : string -> objective
-(** Accepts "latency", "throughput", "energy", "power", "edp" (case
-    insensitive).  Raises [Invalid_argument] otherwise. *)
+(** Accepts "latency", "throughput", "energy", "power", "edp", "wear",
+    "endurance" (case insensitive).  Raises [Invalid_argument]
+    otherwise. *)
 
 val objective_to_string : objective -> string
 

@@ -170,7 +170,8 @@ let mutate scheme rng validity ~scores group =
   | Move -> mutate_move rng scores group
   | Fixed_random -> mutate_fixed_random rng validity scores group
 
-let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx validity ~batch =
+let optimize ?(params = default_params) ?(objective = Fitness.Latency)
+    ?(options = Estimator.default_options) ctx validity ~batch =
   if params.population < 2 then invalid_arg "Ga.optimize: population < 2";
   if params.n_sel < 1 || params.n_sel > params.population then
     invalid_arg "Ga.optimize: bad n_sel";
@@ -181,7 +182,7 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx valid
   if params.jobs < 1 then invalid_arg "Ga.optimize: jobs < 1";
   let scheme_array = Array.of_list params.schemes in
   let rng = Rng.create params.seed in
-  let shared = Estimator.Span_cache.create ~batch () in
+  let shared = Estimator.Span_cache.create ~options ~batch () in
   let evaluations = ref 0 in
   Pool.with_pool ~jobs:params.jobs @@ fun pool ->
   (* Candidate groups are proposed on the main domain (every RNG draw stays
@@ -194,7 +195,7 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency) ctx valid
     evaluations := !evaluations + Array.length groups;
     let perfs, locals =
       Pool.map_init pool
-        ~init:(fun () -> Estimator.Span_cache.create ~batch ())
+        ~init:(fun () -> Estimator.Span_cache.create ~options ~batch ())
         ~f:(fun local group -> Estimator.evaluate_cached ~shared ~cache:local ctx ~batch group)
         groups
     in

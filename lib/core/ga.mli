@@ -96,6 +96,7 @@ val mutate :
 val optimize :
   ?params:params ->
   ?objective:Fitness.objective ->
+  ?options:Estimator.model_options ->
   Dataflow.ctx ->
   Validity.t ->
   batch:int ->

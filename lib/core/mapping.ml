@@ -11,37 +11,52 @@ type t = {
   tiles_used : int array;
   total_tiles : int;
   capacity_per_core : int;
+  capacities : int array;
 }
 
-let pack (units : Unit_gen.t) ~start_ ~stop ~replication =
+let effective_capacities ?faults chip =
+  let ncores = chip.Config.cores in
+  let capacity = chip.Config.core.Config.macros_per_core in
+  match faults with
+  | None -> Array.make ncores capacity
+  | Some f ->
+    if Fault.cores f <> ncores then
+      invalid_arg
+        (Printf.sprintf "Mapping: fault scenario has %d cores but chip %s has %d"
+           (Fault.cores f) chip.Config.label ncores);
+    Fault.capacities f ~macros_per_core:capacity
+
+let pack ?faults (units : Unit_gen.t) ~start_ ~stop ~replication =
   let chip = units.Unit_gen.chip in
   let ncores = chip.Config.cores in
   let capacity = chip.Config.core.Config.macros_per_core in
+  let capacities = effective_capacities ?faults chip in
   if start_ < 0 || stop > Unit_gen.unit_count units || start_ >= stop then
-    invalid_arg "Mapping.pack: bad span";
+    invalid_arg
+      (Printf.sprintf "Mapping.pack: bad span [%d, %d) over %d units" start_ stop
+         (Unit_gen.unit_count units));
   (* Expand replicas, then first-fit-decreasing. *)
   let items = ref [] in
-  (try
-     for i = start_ to stop - 1 do
-       let u = units.Unit_gen.units.(i) in
-       let r = replication i in
-       if r < 1 then invalid_arg "Mapping.pack: replication < 1";
-       if u.Unit_gen.tiles > capacity then
-         raise (Failure (Printf.sprintf "unit %d exceeds a core (%d tiles)" i u.Unit_gen.tiles));
-       for replica = 0 to r - 1 do
-         items := { unit_index = i; replica; tiles = u.Unit_gen.tiles } :: !items
-       done
-     done
-   with Failure msg ->
-     items := [];
-     raise (Invalid_argument ("Mapping.pack: " ^ msg)));
+  for i = start_ to stop - 1 do
+    let u = units.Unit_gen.units.(i) in
+    let r = replication i in
+    if r < 1 then
+      invalid_arg (Printf.sprintf "Mapping.pack: replication %d < 1 for unit %d" r i);
+    if u.Unit_gen.tiles > capacity then
+      invalid_arg
+        (Printf.sprintf "Mapping.pack: unit %d exceeds a core (%d tiles > %d macros)" i
+           u.Unit_gen.tiles capacity);
+    for replica = 0 to r - 1 do
+      items := { unit_index = i; replica; tiles = u.Unit_gen.tiles } :: !items
+    done
+  done;
   let sorted = List.sort (fun a b -> compare b.tiles a.tiles) !items in
   let cores = Array.make ncores [] in
   let tiles_used = Array.make ncores 0 in
   let place item =
     let rec fit c =
       if c >= ncores then false
-      else if tiles_used.(c) + item.tiles <= capacity then begin
+      else if tiles_used.(c) + item.tiles <= capacities.(c) then begin
         cores.(c) <- item :: cores.(c);
         tiles_used.(c) <- tiles_used.(c) + item.tiles;
         true
@@ -61,10 +76,17 @@ let pack (units : Unit_gen.t) ~start_ ~stop ~replication =
          item.replica item.tiles)
   | Ok () ->
     let total_tiles = Array.fold_left ( + ) 0 tiles_used in
-    Ok { cores = Array.map List.rev cores; tiles_used; total_tiles; capacity_per_core = capacity }
+    Ok
+      {
+        cores = Array.map List.rev cores;
+        tiles_used;
+        total_tiles;
+        capacity_per_core = capacity;
+        capacities;
+      }
 
-let feasible units ~start_ ~stop =
-  match pack units ~start_ ~stop ~replication:(fun _ -> 1) with
+let feasible ?faults units ~start_ ~stop =
+  match pack ?faults units ~start_ ~stop ~replication:(fun _ -> 1) with
   | Ok _ -> true
   | Error _ -> false
   | exception Invalid_argument _ -> false
@@ -73,7 +95,7 @@ let cores_used t =
   Array.fold_left (fun acc used -> if used > 0 then acc + 1 else acc) 0 t.tiles_used
 
 let utilization t =
-  let capacity = Array.length t.cores * t.capacity_per_core in
+  let capacity = Array.fold_left ( + ) 0 t.capacities in
   if capacity = 0 then 0. else float_of_int t.total_tiles /. float_of_int capacity
 
 let pp ppf t =
@@ -92,4 +114,9 @@ let core_of_unit t ~unit_index ~replica =
          && List.exists (fun a -> a.unit_index = unit_index && a.replica = replica) assignments
       then found := Some c)
     t.cores;
-  match !found with Some c -> c | None -> raise Not_found
+  match !found with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Mapping.core_of_unit: unit %d replica %d is not placed" unit_index
+         replica)

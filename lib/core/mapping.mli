@@ -3,7 +3,8 @@
     Units never split across cores, so placement is bin packing with bin
     capacity = macros per core; first-fit-decreasing is used both as the
     feasibility oracle for the validity map and as the actual placement the
-    scheduler emits. *)
+    scheduler emits.  An optional {!Compass_arch.Fault} scenario shrinks
+    individual bins (degraded cores) or removes them (dead cores). *)
 
 type assignment = {
   unit_index : int;
@@ -15,10 +16,12 @@ type t = {
   cores : assignment list array;  (** Index = core id; creation order. *)
   tiles_used : int array;
   total_tiles : int;
-  capacity_per_core : int;
+  capacity_per_core : int;  (** Nominal (fault-free) macros per core. *)
+  capacities : int array;  (** Effective per-core capacity under faults. *)
 }
 
 val pack :
+  ?faults:Compass_arch.Fault.t ->
   Unit_gen.t ->
   start_:int ->
   stop:int ->
@@ -26,17 +29,21 @@ val pack :
   (t, string) result
 (** [pack units ~start_ ~stop ~replication] places every unit of the span
     with [replication unit_index] copies.  [Error] explains the failure
-    (an oversized unit or insufficient total capacity/fragmentation). *)
+    (insufficient capacity or fragmentation, possibly induced by
+    [faults]).  Raises [Invalid_argument] on misuse: a bad span,
+    [replication < 1], a unit bigger than a pristine core, or a fault
+    scenario whose core count differs from the chip's. *)
 
-val feasible : Unit_gen.t -> start_:int -> stop:int -> bool
+val feasible : ?faults:Compass_arch.Fault.t -> Unit_gen.t -> start_:int -> stop:int -> bool
 (** Placement feasibility at replication 1 — the validity-map predicate. *)
 
 val cores_used : t -> int
 
 val utilization : t -> float
-(** Used tiles over chip tiles, in [\[0, 1\]]. *)
+(** Used tiles over *effective* chip tiles, in [\[0, 1\]]. *)
 
 val core_of_unit : t -> unit_index:int -> replica:int -> int
-(** Core hosting a given replica.  Raises [Not_found] if absent. *)
+(** Core hosting a given replica.  Raises [Invalid_argument] if that
+    replica was not placed by this mapping. *)
 
 val pp : Format.formatter -> t -> unit

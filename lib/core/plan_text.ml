@@ -20,6 +20,12 @@ let to_string (plan : Compiler.t) =
     (Printf.sprintf "cuts %s\n"
        (String.concat " "
           (List.map string_of_int (Array.to_list (Partition.cuts plan.Compiler.group)))));
+  (match plan.Compiler.faults with
+  | Some f when not (Compass_arch.Fault.is_trivial f) ->
+    (* Realized scenarios serialize with fixed clauses only, so reloading
+       needs no seed. *)
+    Buffer.add_string buf (Printf.sprintf "faults %s\n" (Compass_arch.Fault.to_string f))
+  | Some _ | None -> ());
   if not (is_zoo_model model_name) then begin
     Buffer.add_string buf "model-text\n";
     Buffer.add_string buf (Compass_nn.Model_text.to_string plan.Compiler.model)
@@ -90,6 +96,18 @@ let of_string text =
       Array.of_list (List.map Option.get ints)
     | _ -> fail "bad cuts %S" (get "cuts")
   in
+  let faults =
+    match Hashtbl.find_opt fields "faults" with
+    | None -> None
+    | Some spec -> (
+      try
+        let f =
+          Compass_arch.Fault.of_string (String.trim spec) ~seed:0 ~cores:chip.Compass_arch.Config.cores
+            ~macros_per_core:chip.Compass_arch.Config.core.Compass_arch.Config.macros_per_core
+        in
+        if Compass_arch.Fault.is_trivial f then None else Some f
+      with Invalid_argument msg -> fail "bad faults %S: %s" (String.trim spec) msg)
+  in
   let units = Unit_gen.generate model chip in
   let group =
     try Partition.of_cuts cuts
@@ -98,11 +116,16 @@ let of_string text =
   if Partition.total_units group <> Unit_gen.unit_count units then
     fail "cuts cover %d units but the decomposition has %d (different hardware?)"
       (Partition.total_units group) (Unit_gen.unit_count units);
-  let validity = Validity.build units in
+  let validity =
+    try Validity.build ?faults units
+    with Invalid_argument msg -> fail "fault scenario rejects the model: %s" msg
+  in
   if not (Validity.group_valid validity group) then
-    fail "stored partitioning is not valid for chip %s" chip.Compass_arch.Config.label;
+    fail "stored partitioning is not valid for chip %s%s" chip.Compass_arch.Config.label
+      (if faults = None then "" else " under the stored fault scenario");
   let ctx = Dataflow.context units in
-  let perf = Estimator.evaluate ctx ~batch group in
+  let options = { Estimator.default_options with Estimator.faults } in
+  let perf = Estimator.evaluate ~options ctx ~batch group in
   {
     Compiler.model;
     chip;
@@ -115,6 +138,7 @@ let of_string text =
     group;
     perf;
     ga = None;
+    faults;
   }
 
 let load path =

@@ -14,11 +14,16 @@ let unit_replication t units i =
 
 let max_replication t = List.fold_left (fun acc (_, r) -> max acc r) 1 t.per_layer
 
-let allocate ctx ~batch ~start_ ~stop =
+let allocate ?faults ctx ~batch ~start_ ~stop =
   if batch < 1 then invalid_arg "Replication.allocate: batch < 1";
   let units = Dataflow.units ctx in
   let chip = units.Unit_gen.chip in
-  let budget = Config.total_macros chip in
+  let budget =
+    match faults with
+    | None -> Config.total_macros chip
+    | Some f ->
+      Fault.total_capacity f ~macros_per_core:chip.Config.core.Config.macros_per_core
+  in
   let layers = Array.of_list (Perf_model.span_layers ctx ~start_ ~stop) in
   let n = Array.length layers in
   let rep = Array.make n 1 in
@@ -81,7 +86,7 @@ let allocate ctx ~batch ~start_ ~stop =
   let feasible () =
     let alloc = { per_layer = per_layer (); tiles_used = !used; spare_tiles = 0 } in
     match
-      Mapping.pack units ~start_ ~stop ~replication:(fun i ->
+      Mapping.pack ?faults units ~start_ ~stop ~replication:(fun i ->
           unit_replication alloc units i)
     with
     | Ok _ -> true

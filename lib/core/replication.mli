@@ -23,9 +23,12 @@ type t = {
   spare_tiles : int;
 }
 
-val allocate : Dataflow.ctx -> batch:int -> start_:int -> stop:int -> t
+val allocate :
+  ?faults:Compass_arch.Fault.t -> Dataflow.ctx -> batch:int -> start_:int -> stop:int -> t
 (** Greedy bottleneck replication for the span; [batch] sets how many
-    samples amortize the write cost of each replica. *)
+    samples amortize the write cost of each replica.  Under [faults] the
+    tile budget and the placement check both use effective capacities, so
+    replicas never spill onto dead or degraded macros. *)
 
 val replication_of : t -> Compass_nn.Graph.node -> int
 (** 1 for layers absent from the allocation. *)

@@ -94,6 +94,38 @@ let support_table models chip =
     models;
   table
 
+let endurance_table ?endurance_cycles plans =
+  let open Compass_util in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "config"; "writes/inf"; "worst macro/inf"; "lifetime(inf)"; "lifetime(days@100/s)" ]
+  in
+  List.iter
+    (fun (plan : Compiler.t) ->
+      let e = plan.Compiler.perf.Estimator.endurance in
+      let budget =
+        match e.Estimator.projected_lifetime_inferences with
+        | Some _ -> e.Estimator.projected_lifetime_inferences
+        | None -> (
+          match endurance_cycles with
+          | Some b when e.Estimator.max_writes_per_macro_per_inference > 0. ->
+            Some (b /. e.Estimator.max_writes_per_macro_per_inference)
+          | _ -> None)
+      in
+      Table.add_row table
+        [
+          Compiler.label plan;
+          Printf.sprintf "%.1f" e.Estimator.writes_per_inference;
+          Printf.sprintf "%.3f" e.Estimator.max_writes_per_macro_per_inference;
+          (match budget with Some n -> Printf.sprintf "%.3g" n | None -> "-");
+          (match budget with
+          | Some n -> Printf.sprintf "%.2f" (n /. 100. /. 86400.)
+          | None -> "-");
+        ])
+    plans;
+  table
+
 let plan_layer_table (plan : Compiler.t) =
   let open Compass_util in
   let model = plan.Compiler.model in

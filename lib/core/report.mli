@@ -40,6 +40,14 @@ val support_table : Compass_nn.Graph.t list -> Compass_arch.Config.chip -> Compa
 (** Table II's support matrix against one chip: model sizes plus
     "Prev."/"Ours" columns. *)
 
+val endurance_table : ?endurance_cycles:float -> Compiler.t list -> Compass_util.Table.t
+(** Endurance accounting per plan: weight writes per inference, the
+    most-rewritten macro's writes per inference, and the projected device
+    lifetime in inferences (and in days at a nominal 100 inf/s).  The
+    budget comes from each plan's fault scenario when present, else from
+    [?endurance_cycles] (e.g.
+    [Compass_arch.Technology.reram.endurance_cycles]). *)
+
 val plan_layer_table : Compiler.t -> Compass_util.Table.t
 (** One row per weighted layer of the plan: partition, replication, stage
     time after replication, and whether the layer is the partition's

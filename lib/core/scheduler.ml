@@ -95,7 +95,7 @@ let consumer_cores ctx plan node =
     | [] -> [ 0 ])
   | cores -> cores
 
-let build ctx group ~batch ?(chunks = 4) () =
+let build ?faults ctx group ~batch ?(chunks = 4) () =
   if batch < 1 then invalid_arg "Scheduler.build: batch < 1";
   let units = Dataflow.units ctx in
   if Partition.total_units group <> Unit_gen.unit_count units then
@@ -110,10 +110,10 @@ let build ctx group ~batch ?(chunks = 4) () =
     List.map
       (fun (s : Partition.span) ->
         let start_ = s.Partition.start_ and stop = s.Partition.stop in
-        let replication = Replication.allocate ctx ~batch ~start_ ~stop in
+        let replication = Replication.allocate ?faults ctx ~batch ~start_ ~stop in
         let mapping =
           match
-            Mapping.pack units ~start_ ~stop
+            Mapping.pack ?faults units ~start_ ~stop
               ~replication:(Replication.unit_replication replication units)
           with
           | Ok m -> m

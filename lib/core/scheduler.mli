@@ -28,10 +28,20 @@ type t = {
   spans : Partition.span list;
 }
 
-val build : Dataflow.ctx -> Partition.t -> batch:int -> ?chunks:int -> unit -> t
+val build :
+  ?faults:Compass_arch.Fault.t ->
+  Dataflow.ctx ->
+  Partition.t ->
+  batch:int ->
+  ?chunks:int ->
+  unit ->
+  t
 (** [chunks] (default 4, clamped to [batch]) slices the batch for
-    pipelined emission.  Raises [Invalid_argument] on a group that does not
-    cover the decomposition or a non-positive batch. *)
+    pipelined emission.  Under [faults], placement uses per-core effective
+    capacities, so dead cores receive no work (they still participate in
+    the chip-wide [Sync] barriers, which are control broadcasts).  Raises
+    [Invalid_argument] on a group that does not cover the decomposition or
+    a non-positive batch. *)
 
 val simulate : Dataflow.ctx -> t -> Compass_isa.Sim.result
 (** Run the programs through the event-driven chip simulator. *)

@@ -1,15 +1,23 @@
 type t = {
   units : Unit_gen.t;
   max_end_ : int array;
+  faults : Compass_arch.Fault.t option;
 }
 
 let units t = t.units
+let faults t = t.faults
 let size t = Array.length t.max_end_
 
-let build (units : Unit_gen.t) =
+let build ?faults (units : Unit_gen.t) =
   let m = Unit_gen.unit_count units in
   let chip = units.Unit_gen.chip in
-  let budget = Compass_arch.Config.total_macros chip in
+  let budget =
+    match faults with
+    | None -> Compass_arch.Config.total_macros chip
+    | Some f ->
+      Compass_arch.Fault.total_capacity f
+        ~macros_per_core:chip.Compass_arch.Config.core.Compass_arch.Config.macros_per_core
+  in
   let tiles = Array.map (fun u -> u.Unit_gen.tiles) units.Unit_gen.units in
   let prefix = Array.make (m + 1) 0 in
   for i = 0 to m - 1 do
@@ -25,12 +33,22 @@ let build (units : Unit_gen.t) =
       incr cap_end
     done;
     let b = ref !cap_end in
-    while !b > a + 1 && not (Mapping.feasible units ~start_:a ~stop:!b) do
+    while !b > a + 1 && not (Mapping.feasible ?faults units ~start_:a ~stop:!b) do
       decr b
     done;
+    (* Fault-free, a single unit always fits a core by construction; under
+       faults the surviving cores may all be too small, which makes the whole
+       model uncompilable on this chip — fail loudly rather than emit a map
+       whose minimal spans are lies. *)
+    if faults <> None && not (Mapping.feasible ?faults units ~start_:a ~stop:(a + 1)) then
+      invalid_arg
+        (Printf.sprintf
+           "Validity.build: unit %d (%d tiles) fits no usable core under the fault \
+            scenario"
+           a tiles.(a));
     max_end_.(a) <- !b
   done;
-  { units; max_end_ }
+  { units; max_end_; faults }
 
 let max_end t a =
   if a < 0 || a >= size t then invalid_arg "Validity.max_end: out of range";
@@ -75,17 +93,20 @@ let random_group rng t =
 
 let render ?(cells = 32) t =
   let m = size t in
-  let cells = min cells m in
-  let scale i = i * m / cells in
-  let cell r c =
-    (* Row = start bucket, column = end bucket (paper's (x_i, x_j) axes). *)
-    let a = scale r in
-    let b = min m (scale (c + 1)) in
-    if b <= a then ' ' else if b <= t.max_end_.(a) then '#' else '.'
+  let title =
+    Printf.sprintf "validity map: %s on chip %s (M=%d, density %.2f)"
+      (Compass_nn.Graph.name t.units.Unit_gen.model)
+      t.units.Unit_gen.chip.Compass_arch.Config.label m (density t)
   in
-  Compass_util.Ascii_plot.heat_map
-    ~title:
-      (Printf.sprintf "validity map: %s on chip %s (M=%d, density %.2f)"
-         (Compass_nn.Graph.name t.units.Unit_gen.model)
-         t.units.Unit_gen.chip.Compass_arch.Config.label m (density t))
-    ~render_cell:cell ~rows:cells ~cols:cells
+  if m = 0 then title ^ "\n(empty: model has no partition units)\n"
+  else begin
+    let cells = max 1 (min cells m) in
+    let scale i = i * m / cells in
+    let cell r c =
+      (* Row = start bucket, column = end bucket (paper's (x_i, x_j) axes). *)
+      let a = scale r in
+      let b = min m (scale (c + 1)) in
+      if b <= a then ' ' else if b <= t.max_end_.(a) then '#' else '.'
+    in
+    Compass_util.Ascii_plot.heat_map ~title ~render_cell:cell ~rows:cells ~cols:cells
+  end

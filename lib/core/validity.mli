@@ -4,20 +4,31 @@
     that every span [\[a, b')] with [b' <= b] fits the chip at replication 1
     (total tile budget and core bin-packing both satisfied).  Random
     partition generation draws end positions only inside the valid range,
-    guaranteeing every generated chromosome is feasible. *)
+    guaranteeing every generated chromosome is feasible.
+
+    Built with a {!Compass_arch.Fault} scenario, the map uses per-core
+    *effective* capacities, so every valid span also routes around dead and
+    degraded cores. *)
 
 type t
 
-val build : Unit_gen.t -> t
+val build : ?faults:Compass_arch.Fault.t -> Unit_gen.t -> t
+(** Raises [Invalid_argument] if, under [faults], some single unit fits no
+    usable core — the model cannot be compiled on the degraded chip at
+    all.  Without [faults] this cannot happen (units are generated to fit
+    a pristine core). *)
 
 val units : t -> Unit_gen.t
+
+val faults : t -> Compass_arch.Fault.t option
+(** The scenario the map was built under, if any. *)
 
 val size : t -> int
 (** Number of partition units [M]. *)
 
 val max_end : t -> int -> int
 (** [max_end t a] for [0 <= a < size t]; always [> a] since a unit fits a
-    core by construction. *)
+    core by construction (checked at build time under faults). *)
 
 val is_valid : t -> start_:int -> stop:int -> bool
 (** True iff [start_ < stop <= max_end t start_]. *)
@@ -39,4 +50,5 @@ val random_group : Compass_util.Rng.t -> t -> Partition.t
 
 val render : ?cells:int -> t -> string
 (** ASCII heat map ([cells] x [cells], default 32): ['#'] valid span,
-    ['.'] invalid, [' '] below the diagonal. *)
+    ['.'] invalid, [' '] below the diagonal.  Degenerates to a title-only
+    string when the map is empty. *)

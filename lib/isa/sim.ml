@@ -1,5 +1,10 @@
 open Compass_arch
 
+type fault_event = {
+  at_s : float;
+  victim : int;
+}
+
 type event = {
   core : int;
   label : string;
@@ -20,6 +25,8 @@ type result = {
   energy_components : (string * float) list;
   energy_j : float;
   events : event list;
+  dead_cores : int list;
+  dropped_instructions : int;
 }
 
 exception Deadlock of string
@@ -38,6 +45,7 @@ type core_state = {
   id : int;
   mutable time : float;
   mutable rest : Instr.t list;
+  mutable dead : bool;
 }
 
 type barrier = {
@@ -169,10 +177,50 @@ let execute shared core instr =
       end
       else Blocked)
 
-let run chip programs =
+(* A fail-stopped core loses its remaining work but must not wedge the
+   chip: barriers still count it, sends deliver (empty) tokens at local
+   time so receivers unblock, receives consume tokens for free; compute
+   and memory instructions are skipped at zero cost and counted. *)
+let execute_dead shared core instr =
+  match instr with
+  | Instr.Sync _ -> (execute shared core instr, false)
+  | Instr.Send { bytes = _; dst; channel } ->
+    let key = (channel, core.id, dst) in
+    let q =
+      match Hashtbl.find_opt shared.channels key with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add shared.channels key q;
+        q
+    in
+    Queue.add core.time q;
+    (Done core.time, true)
+  | Instr.Recv { bytes = _; src; channel } -> (
+    let key = (channel, src, core.id) in
+    match Hashtbl.find_opt shared.channels key with
+    | Some q when not (Queue.is_empty q) ->
+      ignore (Queue.pop q);
+      (Done core.time, true)
+    | Some _ | None -> (Blocked, true))
+  | Instr.Weight_write _ | Instr.Load _ | Instr.Store _ | Instr.Mvm _ | Instr.Vfu _ ->
+    (Done core.time, true)
+
+let run ?(fault_events = []) chip programs =
   (match Program.validate ~cores:chip.Config.cores programs with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sim.run: " ^ msg));
+  let kill_time = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      if e.at_s < 0. then invalid_arg "Sim.run: negative fault-event time";
+      if e.victim < 0 || e.victim >= chip.Config.cores then
+        invalid_arg
+          (Printf.sprintf "Sim.run: fault event for core %d out of range" e.victim);
+      match Hashtbl.find_opt kill_time e.victim with
+      | Some t when t <= e.at_s -> ()
+      | _ -> Hashtbl.replace kill_time e.victim e.at_s)
+    fault_events;
   let shared =
     {
       chip;
@@ -190,9 +238,12 @@ let run chip programs =
     }
   in
   let cores =
-    List.map (fun p -> { id = p.Program.core_id; time = 0.; rest = p.Program.instrs }) programs
+    List.map
+      (fun p -> { id = p.Program.core_id; time = 0.; rest = p.Program.instrs; dead = false })
+      programs
   in
   let events_rev = ref [] in
+  let dropped = ref 0 in
   let pending () = List.filter (fun c -> c.rest <> []) cores in
   let rec drain () =
     match pending () with
@@ -206,8 +257,17 @@ let run chip programs =
           match core.rest with
           | [] -> attempt others
           | instr :: rest -> (
-            match execute shared core instr with
+            if not core.dead then (
+              match Hashtbl.find_opt kill_time core.id with
+              | Some at when at <= core.time -> core.dead <- true
+              | Some _ | None -> ());
+            let step, lost =
+              if core.dead then execute_dead shared core instr
+              else (execute shared core instr, false)
+            in
+            match step with
             | Done t ->
+              if lost then incr dropped;
               events_rev :=
                 { core = core.id; label = label_of instr; start_s = core.time; finish_s = t }
                 :: !events_rev;
@@ -245,4 +305,7 @@ let run chip programs =
     energy_components = components;
     energy_j = List.fold_left (fun acc (_, v) -> acc +. v) 0. components;
     events = List.rev !events_rev;
+    dead_cores =
+      List.sort compare (List.filter_map (fun c -> if c.dead then Some c.id else None) cores);
+    dropped_instructions = !dropped;
   }

@@ -22,6 +22,16 @@ type event = {
   finish_s : float;
 }
 
+type fault_event = {
+  at_s : float;  (** Simulated time the core fail-stops (>= 0). *)
+  victim : int;  (** Core id. *)
+}
+(** Mid-run core failure: from [at_s] on, the core skips compute and
+    memory instructions at zero cost (they are counted as dropped) but
+    still participates in barriers and channel handshakes so the rest of
+    the chip drains without deadlock.  An instruction already started when
+    the fault hits completes (fail-stop between instructions). *)
+
 type result = {
   makespan_s : float;  (** Last core finish time. *)
   core_finish_s : (int * float) list;  (** Per-core completion times. *)
@@ -38,12 +48,17 @@ type result = {
   events : event list;
       (** Per-instruction execution intervals in dispatch order; feeds the
           timeline renderer. *)
+  dead_cores : int list;
+      (** Cores fail-stopped by a {!fault_event}, ascending. *)
+  dropped_instructions : int;
+      (** Instructions skipped (work lost) on dead cores. *)
 }
 
 exception Deadlock of string
 (** Raised when no core can make progress (mismatched send/recv or a
     barrier that can never fill). *)
 
-val run : Compass_arch.Config.chip -> Program.t list -> result
+val run : ?fault_events:fault_event list -> Compass_arch.Config.chip -> Program.t list -> result
 (** Raises [Deadlock] on communication errors and [Invalid_argument] when
-    [Program.validate] fails. *)
+    [Program.validate] fails or a fault event is malformed (negative time
+    or core out of range). *)

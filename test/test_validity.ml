@@ -72,7 +72,7 @@ let test_core_of_unit () =
       (try
          ignore (Mapping.core_of_unit m ~unit_index:0 ~replica:5);
          false
-       with Not_found -> true)
+       with Invalid_argument _ -> true)
 
 let test_utilization_bounds () =
   let units, v = setup "resnet18" Config.chip_m in
