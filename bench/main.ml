@@ -4,7 +4,7 @@
 
    Sections (pass names as arguments to run a subset; default = all):
      table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 validate ablation envm
-     quant stability onchip model_ablation parallel faults micro
+     quant stability onchip model_ablation parallel faults dp micro
 
    The experiment index lives in DESIGN.md; measured-vs-paper numbers are
    recorded in EXPERIMENTS.md. *)
@@ -880,6 +880,39 @@ let faults () =
      section and the wear objective, --objective wear)."
 
 (* -------------------------------------------------------------------- *)
+(* Exact DP vs the GA: optimality gaps and estimator-evaluation counts  *)
+
+let dp () =
+  section_banner "dp" "exact DP partitioning: optimality gap and search cost";
+  List.iter
+    (fun (model_name, chip_label, batch) ->
+      let model = Compass_nn.Models.by_name model_name in
+      let chip = Compass_arch.Config.by_label chip_label in
+      Printf.printf "\n%s-%s-%d (objective latency):\n" model_name chip_label batch;
+      let t0 = Unix.gettimeofday () in
+      let dp_result, rows = Report.optimality_gap ~model ~chip ~batch () in
+      let t1 = Unix.gettimeofday () in
+      Table.print (Report.optimality_gap_table ~objective:Fitness.Latency (dp_result, rows));
+      let s = dp_result.Optimal.stats in
+      Printf.printf
+        "dp: %d valid spans, %d span evaluations, %d edges, %d group evaluation(s)\n"
+        s.Optimal.valid_spans s.Optimal.spans_evaluated s.Optimal.edges_relaxed
+        s.Optimal.group_evaluations;
+      let ga =
+        match (plan model_name chip_label batch Compiler.Compass).Compiler.ga with
+        | Some ga -> ga
+        | None -> assert false
+      in
+      Printf.printf
+        "ga: %d group evaluations, %d distinct spans — %.0fx more group \
+         evaluations than the DP\n"
+        ga.Ga.evaluations ga.Ga.cache_spans
+        (float_of_int ga.Ga.evaluations /. float_of_int s.Optimal.group_evaluations);
+      Printf.printf "all four schemes (shared span cache): %.1f ms\n"
+        (1000. *. (t1 -. t0)))
+    [ ("resnet18", "S", 16); ("resnet18", "M", 16) ]
+
+(* -------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                            *)
 
 let micro () =
@@ -890,6 +923,7 @@ let micro () =
   let units = Unit_gen.generate resnet chip in
   let validity = Validity.build units in
   let ctx = Dataflow.context units in
+  let ctx_no_table = Dataflow.context ~span_table:false units in
   let mid_stop = Validity.max_end validity 0 in
   let greedy = Baselines.greedy validity in
   let trace = [ Compass_dram.Trace.read ~addr:0 ~bytes:(1 lsl 20) () ] in
@@ -907,6 +941,8 @@ let micro () =
                Estimator.span_perf ctx ~batch:16 ~start_:0 ~stop:mid_stop));
         Test.make ~name:"fig6/group_evaluate"
           (Staged.stage (fun () -> Estimator.evaluate ctx ~batch:16 greedy));
+        Test.make ~name:"fig6/group_evaluate_no_table"
+          (Staged.stage (fun () -> Estimator.evaluate ctx_no_table ~batch:16 greedy));
         Test.make ~name:"fig7/schedule_build"
           (Staged.stage (fun () -> Scheduler.build ctx greedy ~batch:4 ()));
         Test.make ~name:"fig10/ga_quick"
@@ -921,6 +957,13 @@ let micro () =
                      n_mut = 5;
                    }
                  ctx validity ~batch:16));
+        Test.make ~name:"dp/optimize_cold"
+          (Staged.stage (fun () -> Optimal.optimize ctx validity ~batch:16));
+        Test.make ~name:"dp/optimize_warm"
+          (* Every span pre-cached: measures the pure DP sweep. *)
+          (let warm = Estimator.Span_cache.create ~batch:16 () in
+           ignore (Optimal.optimize ~cache:warm ctx validity ~batch:16);
+           Staged.stage (fun () -> Optimal.optimize ~cache:warm ctx validity ~batch:16));
         Test.make ~name:"dram/replay_1MB"
           (Staged.stage (fun () -> Compass_dram.Dram.simulate trace));
       ]
@@ -968,6 +1011,7 @@ let sections =
     ("model_ablation", model_ablation);
     ("parallel", parallel);
     ("faults", faults);
+    ("dp", dp);
     ("micro", micro);
   ]
 

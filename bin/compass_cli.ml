@@ -4,7 +4,8 @@
      info      hardware presets and model zoo summaries
      compile   run one scheme on one workload, print the plan
      validity  render a partition validity map (paper Fig. 5)
-     sweep     compare compass/greedy/layerwise across workloads (Fig. 6)  *)
+     sweep     compare compass/greedy/layerwise across workloads (Fig. 6)
+     gap       optimality gap of every scheme against the exact DP bound  *)
 
 open Cmdliner
 open Compass_core
@@ -24,8 +25,19 @@ let batch_arg =
   Arg.(value & opt int 16 & info [ "b"; "batch" ] ~docv:"N" ~doc)
 
 let scheme_arg =
-  let doc = "Partitioning scheme: compass, greedy or layerwise." in
+  let doc =
+    "Partitioning scheme: compass (GA), greedy, layerwise, or dp (exact \
+     dynamic programming over the valid-span DAG)."
+  in
   Arg.(value & opt string "compass" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let warm_start_arg =
+  let doc =
+    "Seed the GA with the DP optimum (compass scheme only): the exact \
+     latency/energy optimizer runs first and its group joins the initial \
+     population."
+  in
+  Arg.(value & flag & info [ "warm-start" ] ~doc)
 
 let objective_arg =
   let doc = "GA objective: latency, energy, edp or wear." in
@@ -146,7 +158,7 @@ let compile_cmd =
       & info [ "save" ] ~docv:"PATH" ~doc:"Archive the compiled plan (see Plan_text).")
   in
   let run model chip batch scheme objective seed jobs simulate quick save tech faults
-      fault_seed =
+      fault_seed warm_start =
    guard @@ fun () ->
     let model = lookup_model model in
     let chip = retarget ~tech:(lookup_tech tech) (lookup_chip chip) in
@@ -159,13 +171,16 @@ let compile_cmd =
     let plan =
       Compiler.compile ~objective
         ~ga_params:(ga_params ~quick ~seed ~jobs)
-        ?faults ~model ~chip ~batch scheme
+        ~warm_start ?faults ~model ~chip ~batch scheme
     in
     Format.printf "%a" Compiler.pp_plan plan;
     (match plan.Compiler.ga with
     | Some ga ->
       Format.printf "GA: %d generations, %d evaluations, %d distinct spans@."
         ga.Ga.generations_run ga.Ga.evaluations ga.Ga.cache_spans
+    | None -> ());
+    (match plan.Compiler.dp with
+    | Some dp -> Format.printf "%a" Optimal.pp dp
     | None -> ());
     (match save with
     | Some path ->
@@ -188,7 +203,7 @@ let compile_cmd =
     Term.(
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
       $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg
-      $ faults_arg $ fault_seed_arg)
+      $ faults_arg $ fault_seed_arg $ warm_start_arg)
 
 (* plan: reload an archived plan *)
 
@@ -392,6 +407,29 @@ let sweep_cmd =
       const run $ models_arg $ chips_arg $ batch_arg $ seed_arg $ jobs_arg $ quick_arg
       $ csv_arg)
 
+(* gap: how far each scheme lands from the DP's certified bound *)
+
+let gap_cmd =
+  let run model chip batch objective seed jobs quick =
+   guard @@ fun () ->
+    let model = lookup_model model in
+    let chip = lookup_chip chip in
+    let objective = Fitness.objective_of_string objective in
+    let dp, rows =
+      Report.optimality_gap ~objective
+        ~ga_params:(ga_params ~quick ~seed ~jobs)
+        ~model ~chip ~batch ()
+    in
+    Compass_util.Table.print (Report.optimality_gap_table ~objective (dp, rows));
+    Format.printf "%a" Optimal.pp dp
+  in
+  Cmd.v
+    (Cmd.info "gap"
+       ~doc:"Optimality gap of every scheme against the exact DP bound")
+    Term.(
+      const run $ model_arg $ chip_arg $ batch_arg $ objective_arg $ seed_arg
+      $ jobs_arg $ quick_arg)
+
 let () =
   let doc = "COMPASS: compiler for resource-constrained crossbar PIM accelerators" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -400,6 +438,6 @@ let () =
        (Cmd.group ~default
           (Cmd.info "compass" ~version:"1.0.0" ~doc)
           [
-            info_cmd; compile_cmd; validity_cmd; sweep_cmd; schedule_cmd; model_cmd;
-            explore_cmd; plan_cmd;
+            info_cmd; compile_cmd; validity_cmd; sweep_cmd; gap_cmd; schedule_cmd;
+            model_cmd; explore_cmd; plan_cmd;
           ]))

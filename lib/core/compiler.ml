@@ -2,18 +2,21 @@ type scheme =
   | Compass
   | Greedy
   | Layerwise
+  | Optimal
 
 let scheme_of_string s =
   match String.lowercase_ascii s with
   | "compass" | "ga" -> Compass
   | "greedy" -> Greedy
   | "layerwise" -> Layerwise
+  | "dp" | "optimal" -> Optimal
   | other -> invalid_arg ("Compiler.scheme_of_string: " ^ other)
 
 let scheme_to_string = function
   | Compass -> "compass"
   | Greedy -> "greedy"
   | Layerwise -> "layerwise"
+  | Optimal -> "dp"
 
 type t = {
   model : Compass_nn.Graph.t;
@@ -27,31 +30,74 @@ type t = {
   group : Partition.t;
   perf : Estimator.perf;
   ga : Ga.result option;
+  dp : Optimal.result option;
   faults : Compass_arch.Fault.t option;
 }
 
 let options_for faults = { Estimator.default_options with Estimator.faults }
 
-let compile ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params) ?jobs ?faults
-    ~model ~chip ~batch scheme =
+(* The model/chip-dependent front end (unit decomposition, validity map,
+   dataflow context) is batch- and scheme-independent; hoisting it lets
+   sweeps reuse one [prepared] across every (batch, scheme) pair. *)
+type prepared = {
+  p_model : Compass_nn.Graph.t;
+  p_chip : Compass_arch.Config.chip;
+  p_units : Unit_gen.t;
+  p_ctx : Dataflow.ctx;
+  p_validity : Validity.t;
+  p_faults : Compass_arch.Fault.t option;
+}
+
+let prepare ?faults ~model ~chip () =
+  let units = Unit_gen.generate model chip in
+  {
+    p_model = model;
+    p_chip = chip;
+    p_units = units;
+    p_ctx = Dataflow.context units;
+    p_validity = Validity.build ?faults units;
+    p_faults = faults;
+  }
+
+let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params)
+    ?jobs ?cache ?(warm_start = false) ~batch prepared scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
   let ga_params =
     match jobs with Some j -> { ga_params with Ga.jobs = j } | None -> ga_params
   in
+  let { p_model = model; p_chip = chip; p_units = units; p_ctx = ctx;
+        p_validity = validity; p_faults = faults } = prepared in
   let options = options_for faults in
-  let units = Unit_gen.generate model chip in
-  let validity = Validity.build ?faults units in
-  let ctx = Dataflow.context units in
-  let group, ga =
+  let run_dp () = Optimal.optimize ~objective ~options ?cache ctx validity ~batch in
+  let group, ga, dp =
     match scheme with
-    | Greedy -> (Baselines.greedy validity, None)
-    | Layerwise -> (Baselines.layerwise validity, None)
+    | Greedy -> (Baselines.greedy validity, None, None)
+    | Layerwise -> (Baselines.layerwise validity, None, None)
+    | Optimal ->
+      let result = run_dp () in
+      (result.Optimal.group, None, Some result)
     | Compass ->
-      let result = Ga.optimize ~params:ga_params ~objective ~options ctx validity ~batch in
-      (result.Ga.best.Ga.group, Some result)
+      let dp = if warm_start then Some (run_dp ()) else None in
+      let ga_params =
+        match dp with
+        | None -> ga_params
+        | Some d -> { ga_params with Ga.warm_start = [ d.Optimal.group ] }
+      in
+      let result = Ga.optimize ~params:ga_params ~objective ~options ?cache ctx validity ~batch in
+      (result.Ga.best.Ga.group, Some result, dp)
   in
-  let perf = Estimator.evaluate ~options ctx ~batch group in
-  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga; faults }
+  let perf =
+    match cache with
+    | None -> Estimator.evaluate ~options ctx ~batch group
+    | Some cache -> Estimator.evaluate_cached ~cache ctx ~batch group
+  in
+  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga; dp; faults }
+
+let compile ?objective ?ga_params ?jobs ?warm_start ?faults ~model ~chip ~batch scheme =
+  if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
+  compile_prepared ?objective ?ga_params ?jobs ?warm_start ~batch
+    (prepare ?faults ~model ~chip ())
+    scheme
 
 type measurement = {
   schedule : Scheduler.t;

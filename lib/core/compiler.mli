@@ -10,6 +10,9 @@ type scheme =
   | Compass  (** GA-optimized partitioning (Algorithm 1). *)
   | Greedy
   | Layerwise
+  | Optimal
+      (** Exact DP over the valid-span DAG ({!Optimal}); accepts ["dp"] or
+          ["optimal"] on the command line. *)
 
 val scheme_of_string : string -> scheme
 (** Case-insensitive.  Raises [Invalid_argument] on unknown names. *)
@@ -28,6 +31,9 @@ type t = {
   group : Partition.t;
   perf : Estimator.perf;
   ga : Ga.result option;  (** Present for the [Compass] scheme. *)
+  dp : Optimal.result option;
+      (** Present for the [Optimal] scheme, and for [Compass] when compiled
+          with [~warm_start:true]. *)
   faults : Compass_arch.Fault.t option;
       (** The fault scenario the plan was compiled (or repaired) under. *)
 }
@@ -36,6 +42,7 @@ val compile :
   ?objective:Fitness.objective ->
   ?ga_params:Ga.params ->
   ?jobs:int ->
+  ?warm_start:bool ->
   ?faults:Compass_arch.Fault.t ->
   model:Compass_nn.Graph.t ->
   chip:Compass_arch.Config.chip ->
@@ -45,11 +52,49 @@ val compile :
 (** Raises [Invalid_argument] for models without weighted layers or
     non-positive batch sizes.  [?jobs] overrides [ga_params.jobs] — the
     worker-domain count of the GA search (the CLI's [-j]; the compiled
-    plan is bit-identical for any value).  [?faults] compiles for a
-    degraded chip: the validity map, GA search, replication and mapping
-    all use per-core effective capacities, so the plan routes around dead
-    and degraded cores.  Raises [Invalid_argument] when the scenario
-    leaves some unit with no core big enough to host it. *)
+    plan is bit-identical for any value).  [?warm_start] (default false)
+    seeds the [Compass] GA with the DP optimum ({!Optimal.optimize} runs
+    first and lands in [dp]); off, the GA is bit-identical to the unseeded
+    search.  [?faults] compiles for a degraded chip: the validity map, GA
+    search, replication and mapping all use per-core effective capacities,
+    so the plan routes around dead and degraded cores.  Raises
+    [Invalid_argument] when the scenario leaves some unit with no core big
+    enough to host it. *)
+
+(** {1 Amortized front end}
+
+    [prepare] runs the batch-independent front end (unit decomposition,
+    validity map, span-table dataflow context) once per (model, chip,
+    faults); [compile_prepared] then compiles any number of (batch,
+    scheme) combinations against it.  [compile] is the two composed. *)
+
+type prepared
+
+val prepare :
+  ?faults:Compass_arch.Fault.t ->
+  model:Compass_nn.Graph.t ->
+  chip:Compass_arch.Config.chip ->
+  unit ->
+  prepared
+(** Raises like {!compile} for infeasible (model, chip, faults) triples. *)
+
+val compile_prepared :
+  ?objective:Fitness.objective ->
+  ?ga_params:Ga.params ->
+  ?jobs:int ->
+  ?cache:Estimator.Span_cache.t ->
+  ?warm_start:bool ->
+  batch:int ->
+  prepared ->
+  scheme ->
+  t
+(** Compile one (batch, scheme) against a prepared front end.  [?cache]
+    shares one span cache across several compilations of the same
+    [prepared] and brand (same [batch] and options — i.e. same faults):
+    the GA, the DP and the final evaluation all read and extend it, so
+    e.g. a scheme comparison evaluates each distinct span once.  Plans are
+    bit-identical with or without the cache.  Raises [Invalid_argument] on
+    a cache brand mismatch. *)
 
 type measurement = {
   schedule : Scheduler.t;

@@ -19,11 +19,13 @@ type ctx = {
   frac_prefix : float array; (* per unit: prefix sum of column fractions *)
   tensor_bytes : float array;
   topo : Graph.node list;
+  table : Span_table.t option;
 }
 
 let units ctx = ctx.units_
+let table ctx = ctx.table
 
-let context (units_ : Unit_gen.t) =
+let context ?(span_table = true) (units_ : Unit_gen.t) =
   let model = units_.Unit_gen.model in
   let nnodes = Graph.node_count model in
   let m = Unit_gen.unit_count units_ in
@@ -74,7 +76,8 @@ let context (units_ : Unit_gen.t) =
   let tensor_bytes =
     Array.init nnodes (fun node -> Shape.bytes ~activation_bits (Graph.shape_of model node))
   in
-  { units_; unit_lo; unit_hi; anchor; frac_prefix; tensor_bytes; topo }
+  let table = if span_table then Some (Span_table.create units_ ~anchor) else None in
+  { units_; unit_lo; unit_hi; anchor; frac_prefix; tensor_bytes; topo; table }
 
 let home_unit ctx node =
   if node < 0 || node >= Array.length ctx.anchor then invalid_arg "Dataflow.home_unit";
@@ -104,44 +107,104 @@ let span_io ctx ~start_ ~stop =
   let model = ctx.units_.Unit_gen.model in
   let weighted = ref [] in
   let attached = ref [] in
-  let loads : (Graph.node, float) Hashtbl.t = Hashtbl.create 8 in
-  let stores : (Graph.node, float) Hashtbl.t = Hashtbl.create 8 in
+  (* Endpoint sets are tiny (a handful of boundary tensors), so max-merging
+     in an association list beats hashing; the result is sorted below either
+     way. *)
+  let loads : (Graph.node * float) list ref = ref [] in
+  let stores : (Graph.node * float) list ref = ref [] in
   let add tbl node bytes =
-    Hashtbl.replace tbl node (max bytes (Option.value ~default:0. (Hashtbl.find_opt tbl node)))
+    let rec merge = function
+      | [] -> (node, bytes) :: []
+      | (n, b) :: rest when n = node -> (n, max bytes b) :: rest
+      | kv :: rest -> kv :: merge rest
+    in
+    tbl := merge !tbl
   in
-  let visit node =
-    if touches ctx ~start_ ~stop node then begin
+  (match ctx.table with
+  | Some tab ->
+    (* Visit exactly the nodes the full topological walk would touch:
+       weighted layers with units in the span (ascending unit order is
+       their topological order), then attached nodes anchored inside (in
+       topological order).  Both loops know their nodes' class up front, so
+       the per-visit layer-kind test of the reference walk disappears.
+       Loads and stores max-merge per node and the endpoint lists are
+       sorted afterwards, so splitting the interleaved walk into two
+       passes changes nothing.
+
+       The inside/outside tests reduce to integer range tests: a node is
+       fully inside iff all its units are (attached nodes: iff their
+       anchor is).  The reference path compares [layer_fraction_in]
+       against 1e-9 tolerances instead, but a missing unit always carries
+       at least ~1/(rows x cols) >= ~1e-8 of its layer, and a full
+       cover's float fraction sum differs from 1 by ulps, so the two
+       predicates agree on every node.  Fractions are then only computed
+       (by the exact reference expression) for endpoints actually
+       emitted, whose byte values stay bit-identical. *)
+    let fully_inside node =
+      if tab.Span_table.unit_lo.(node) >= 0 then
+        tab.Span_table.unit_lo.(node) >= start_ && tab.Span_table.unit_hi.(node) < stop
+      else in_span ~start_ ~stop ctx.anchor.(node)
+    in
+    let need u =
+      if not (fully_inside u) then begin
+        let missing = 1. -. layer_fraction_in ctx u ~start_ ~stop in
+        if missing > 1e-9 then add loads u (ctx.tensor_bytes.(u) *. missing)
+      end
+    in
+    let outside v = not (fully_inside v) in
+    let endpoints node =
+      List.iter need (Graph.preds model node);
+      (* Exit endpoints: this node's local fraction consumed outside.
+         Visited nodes always have a positive local fraction. *)
+      let succs = tab.Span_table.succ.(node) in
+      if succs = [] || List.exists outside succs then begin
+        let local = layer_fraction_in ctx node ~start_ ~stop in
+        if local > 1e-9 then add stores node (ctx.tensor_bytes.(node) *. local)
+      end
+    in
+    let i = ref start_ in
+    while !i < stop do
+      let node = tab.Span_table.unit_layer.(!i) in
+      weighted := node :: !weighted;
+      endpoints node;
+      i := tab.Span_table.unit_hi.(node) + 1
+    done;
+    Array.iteri
+      (fun k node ->
+        let a = tab.Span_table.attached_anchor.(k) in
+        if a >= start_ && a < stop then begin
+          attached := node :: !attached;
+          endpoints node
+        end)
+      tab.Span_table.attached
+  | None ->
+    (* Entry endpoints: fraction of each producer missing from the span. *)
+    let need u =
+      let missing = 1. -. layer_fraction_in ctx u ~start_ ~stop in
+      if missing > 1e-9 then add loads u (ctx.tensor_bytes.(u) *. missing)
+    in
+    let outside v = layer_fraction_in ctx v ~start_ ~stop < 1. -. 1e-9 in
+    let visit node =
       let layer = Graph.layer model node in
-      let is_weighted = Layer.is_weighted layer.Layer.op in
-      (if is_weighted then weighted := node :: !weighted
+      (if Layer.is_weighted layer.Layer.op then weighted := node :: !weighted
        else
          match layer.Layer.op with
          | Layer.Input _ -> ()
          | _ -> attached := node :: !attached);
-      (* Entry endpoints: fraction of each producer missing from the span. *)
-      let need u =
-        let missing = 1. -. layer_fraction_in ctx u ~start_ ~stop in
-        if missing > 1e-9 then add loads u (ctx.tensor_bytes.(u) *. missing)
-      in
       List.iter need (Graph.preds model node);
       (* Exit endpoints: this node's local fraction consumed outside. *)
       let local = layer_fraction_in ctx node ~start_ ~stop in
       if local > 1e-9 then begin
-        let consumed_outside =
-          List.exists
-            (fun v -> layer_fraction_in ctx v ~start_ ~stop < 1. -. 1e-9)
-            (Graph.succs model node)
-        in
-        let is_exit = Graph.succs model node = [] in
+        let succs = Graph.succs model node in
+        let consumed_outside = List.exists outside succs in
+        let is_exit = succs = [] in
         if consumed_outside || is_exit then
           add stores node (ctx.tensor_bytes.(node) *. local)
       end
-    end
-  in
-  List.iter visit ctx.topo;
-  let to_list tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
-  let load_list = to_list loads in
-  let store_list = to_list stores in
+    in
+    List.iter (fun node -> if touches ctx ~start_ ~stop node then visit node) ctx.topo);
+  let load_list = List.sort compare !loads in
+  let store_list = List.sort compare !stores in
   {
     start_;
     stop;

@@ -34,9 +34,18 @@ type partition_io = {
 type ctx
 (** Precomputed per-(model, chip) attachment tables. *)
 
-val context : Unit_gen.t -> ctx
+val context : ?span_table:bool -> Unit_gen.t -> ctx
+(** [?span_table] (default [true]) additionally precomputes a
+    {!Span_table.t}, which switches {!span_io}, [Perf_model.span_layers]
+    and the estimator onto O(span) array-lookup paths.  The fast paths are
+    bit-identical to the reference walks; [~span_table:false] keeps the
+    original full-graph code end-to-end and exists as the differential
+    -testing oracle and benchmark baseline. *)
 
 val units : ctx -> Unit_gen.t
+
+val table : ctx -> Span_table.t option
+(** The span table, when the context was built with one. *)
 
 val span_io : ctx -> start_:int -> stop:int -> partition_io
 (** IO of one candidate partition.  Raises [Invalid_argument] on an empty

@@ -62,23 +62,48 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
   let units = Dataflow.units ctx in
   let chip = units.Unit_gen.chip in
   let io = Dataflow.span_io ctx ~start_ ~stop in
-  let layers = Perf_model.span_layers ctx ~start_ ~stop in
-  let replication = Replication.allocate ?faults:options.faults ctx ~batch ~start_ ~stop in
-  let mapping =
-    match
-      Mapping.pack ?faults:options.faults units ~start_ ~stop
-        ~replication:(Replication.unit_replication replication units)
-    with
-    | Ok m -> m
-    | Error msg -> invalid_arg ("Estimator.span_perf: infeasible span: " ^ msg)
+  let layers, replication, mapping =
+    match Dataflow.table ctx with
+    | Some _ ->
+      (* Span-table path: IO and layer timings are computed exactly once
+         (the layer list threads into the allocator) and the allocator's
+         final feasibility packing is reused instead of packing again. *)
+      let layers = Perf_model.span_layers ~io ctx ~start_ ~stop in
+      let replication, packed =
+        Replication.allocate_packed ?faults:options.faults ~layers ctx ~batch ~start_
+          ~stop
+      in
+      (match packed with
+      | Ok m -> (layers, replication, m)
+      | Error msg -> invalid_arg ("Estimator.span_perf: infeasible span: " ^ msg))
+    | None ->
+      (* Reference path: the original control flow, recomputing the span IO
+         inside [span_layers] and the layer list inside [allocate] — kept
+         as the differential-testing oracle and the benchmark baseline. *)
+      let layers = Perf_model.span_layers ctx ~start_ ~stop in
+      let replication =
+        Replication.allocate ?faults:options.faults ctx ~batch ~start_ ~stop
+      in
+      (match
+         Mapping.pack ?faults:options.faults units ~start_ ~stop
+           ~replication:(Replication.unit_replication replication units)
+       with
+      | Ok m -> (layers, replication, m)
+      | Error msg -> invalid_arg ("Estimator.span_perf: infeasible span: " ^ msg))
   in
   let fbatch = float_of_int batch in
+  (* Per-node replication as an array (same values [replication_of] would
+     walk the assoc list for; absent nodes replicate 1x). *)
+  let rep_of =
+    let arr = Array.make (Compass_nn.Graph.node_count units.Unit_gen.model) 1 in
+    List.iter (fun (n, r) -> arr.(n) <- r) replication.Replication.per_layer;
+    arr
+  in
   (* Compute phase. *)
   let stage_times =
     List.map
       (fun (p : Perf_model.layer_perf) ->
-        let r = Replication.replication_of replication p.Perf_model.node in
-        (p.Perf_model.node, Perf_model.stage_time_s p ~replication:r))
+        (p.Perf_model.node, Perf_model.stage_time_s p ~replication:rep_of.(p.Perf_model.node)))
       layers
   in
   let cores_used = Mapping.cores_used mapping in
@@ -101,8 +126,8 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
   let programmed_bytes =
     List.fold_left
       (fun acc (p : Perf_model.layer_perf) ->
-        let r = Replication.replication_of replication p.Perf_model.node in
-        acc +. (float_of_int r *. p.Perf_model.weight_bytes_in_span))
+        acc
+        +. (float_of_int rep_of.(p.Perf_model.node) *. p.Perf_model.weight_bytes_in_span))
       0. layers
   in
   let xbar = chip.Config.crossbar in
@@ -343,6 +368,26 @@ module Span_cache = struct
       src.table
 end
 
+let span_perf_cached ?shared ~cache ctx ~start_ ~stop =
+  Option.iter
+    (fun s -> Span_cache.check_compatible ~what:"Estimator.span_perf_cached" cache s)
+    shared;
+  let key = (start_, stop) in
+  let hit =
+    match Option.bind shared (fun s -> Span_cache.find_opt s key) with
+    | Some sp -> Some sp
+    | None -> Span_cache.find_opt cache key
+  in
+  match hit with
+  | Some sp -> sp
+  | None ->
+    let sp =
+      span_perf ~options:(Span_cache.options cache) ctx ~batch:(Span_cache.batch cache)
+        ~start_ ~stop
+    in
+    Span_cache.add cache key sp;
+    sp
+
 let evaluate_cached ?shared ~cache ctx ~batch group =
   if batch < 1 then invalid_arg "Estimator.evaluate_cached: batch < 1";
   if Span_cache.batch cache <> batch then
@@ -353,23 +398,11 @@ let evaluate_cached ?shared ~cache ctx ~batch group =
     (fun s -> Span_cache.check_compatible ~what:"Estimator.evaluate_cached" cache s)
     shared;
   let options = Span_cache.options cache in
-  let lookup key =
-    match Option.bind shared (fun s -> Span_cache.find_opt s key) with
-    | Some sp -> Some sp
-    | None -> Span_cache.find_opt cache key
-  in
   let spans =
     List.map
       (fun (s : Partition.span) ->
-        let key = (s.Partition.start_, s.Partition.stop) in
-        match lookup key with
-        | Some sp -> sp
-        | None ->
-          let sp =
-            span_perf ~options ctx ~batch ~start_:s.Partition.start_ ~stop:s.Partition.stop
-          in
-          Span_cache.add cache key sp;
-          sp)
+        span_perf_cached ?shared ~cache ctx ~start_:s.Partition.start_
+          ~stop:s.Partition.stop)
       (Partition.spans group)
   in
   combine ~options ctx ~batch spans

@@ -148,6 +148,19 @@ module Span_cache : sig
       this. *)
 end
 
+val span_perf_cached :
+  ?shared:Span_cache.t ->
+  cache:Span_cache.t ->
+  Dataflow.ctx ->
+  start_:int ->
+  stop:int ->
+  span_perf
+(** One span through the cache: consult [?shared] (read-only), then
+    [cache]; on a miss compute {!span_perf} under the cache's brand and
+    record it in [cache].  The primitive behind {!evaluate_cached} and the
+    DP optimizer's span sweep.  Raises [Invalid_argument] when the brands
+    disagree. *)
+
 val evaluate_cached :
   ?shared:Span_cache.t ->
   cache:Span_cache.t ->

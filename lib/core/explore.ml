@@ -11,10 +11,14 @@ type point = {
 let sweep ?objective ?ga_params ?jobs ~model ~chips ~batches () =
   List.concat_map
     (fun chip ->
+      (* The front end (units, validity map, span table) depends only on
+         the chip, so it is built once per chip and shared by every batch
+         point. *)
+      let prepared = Compiler.prepare ~model ~chip () in
       List.map
         (fun batch ->
           let plan =
-            Compiler.compile ?objective ?ga_params ?jobs ~model ~chip ~batch
+            Compiler.compile_prepared ?objective ?ga_params ?jobs ~batch prepared
               Compiler.Compass
           in
           {

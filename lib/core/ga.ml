@@ -25,6 +25,7 @@ type params = {
   crossover_rate : float;
   seed : int;
   jobs : int;
+  warm_start : Partition.t list;
 }
 
 let default_params =
@@ -39,6 +40,7 @@ let default_params =
     crossover_rate = 0.;
     seed = 0xC0FFEE;
     jobs = Pool.default_jobs ();
+    warm_start = [];
   }
 
 let quick_params =
@@ -53,6 +55,7 @@ let quick_params =
     crossover_rate = 0.;
     seed = 0xC0FFEE;
     jobs = Pool.default_jobs ();
+    warm_start = [];
   }
 
 type individual = {
@@ -76,20 +79,10 @@ type result = {
   cache_spans : int;
 }
 
-(* Randomly tile [lo, hi) with valid partitions, clamping each step so the
-   walk lands exactly on [hi]. *)
-let random_cover rng validity ~lo ~hi =
-  let rec walk acc pos =
-    if pos >= hi then List.rev acc
-    else
-      let bound = min (Validity.max_end validity pos) hi in
-      let stop = if Rng.bool rng then bound else Rng.int_in rng (pos + 1) bound in
-      walk ({ Partition.start_ = pos; stop } :: acc) stop
-  in
-  walk [] lo
-
-let random_group rng validity =
-  Partition.of_spans (random_cover rng validity ~lo:0 ~hi:(Validity.size validity))
+(* The random-cover walk (and its bias policy) lives in [Validity]; both
+   the initial population and the FixedRandom mutation draw through it. *)
+let random_cover = Validity.random_cover
+let random_group = Validity.random_group
 
 (* The four mutation schemes of Sec. III-C3.  Each returns a candidate group
    or raises; the caller validity-checks and retries. *)
@@ -171,7 +164,7 @@ let mutate scheme rng validity ~scores group =
   | Fixed_random -> mutate_fixed_random rng validity scores group
 
 let optimize ?(params = default_params) ?(objective = Fitness.Latency)
-    ?(options = Estimator.default_options) ctx validity ~batch =
+    ?(options = Estimator.default_options) ?cache ctx validity ~batch =
   if params.population < 2 then invalid_arg "Ga.optimize: population < 2";
   if params.n_sel < 1 || params.n_sel > params.population then
     invalid_arg "Ga.optimize: bad n_sel";
@@ -182,7 +175,23 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
   if params.jobs < 1 then invalid_arg "Ga.optimize: jobs < 1";
   let scheme_array = Array.of_list params.schemes in
   let rng = Rng.create params.seed in
-  let shared = Estimator.Span_cache.create ~options ~batch () in
+  let shared =
+    match cache with
+    | None -> Estimator.Span_cache.create ~options ~batch ()
+    | Some c ->
+      (* Pre-populated entries only turn evaluations into hits: every entry
+         is a pure function of its key under the brand, so the search
+         trajectory is unchanged (only [cache_spans] reflects the head
+         start).  The brand must match or downstream lookups would raise
+         mid-run; fail fast here instead. *)
+      if Estimator.Span_cache.batch c <> batch then
+        invalid_arg
+          (Printf.sprintf "Ga.optimize: cache built for batch %d, called with %d"
+             (Estimator.Span_cache.batch c) batch);
+      if Estimator.Span_cache.options c <> options then
+        invalid_arg "Ga.optimize: cache options mismatch";
+      c
+  in
   let evaluations = ref 0 in
   Pool.with_pool ~jobs:params.jobs @@ fun pool ->
   (* Candidate groups are proposed on the main domain (every RNG draw stays
@@ -205,10 +214,19 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
       groups perfs
   in
   let total_units = Validity.size validity in
+  (* Warm-start seeds (e.g. the DP optimum) occupy the first population
+     slots; the rest draw randomly exactly as before.  With no seeds the
+     per-index [Rng.split] sequence is untouched, so the run stays
+     bit-identical to the unseeded search. *)
+  let seeds =
+    Array.of_list (List.filter (Validity.group_valid validity) params.warm_start)
+  in
+  let nseeds = min (Array.length seeds) params.population in
   let population =
     ref
       (evaluate_batch
-         (Array.init params.population (fun _ -> random_group (Rng.split rng) validity)))
+         (Array.init params.population (fun i ->
+              if i < nseeds then seeds.(i) else random_group (Rng.split rng) validity)))
   in
   let by_fitness arr = Array.sort (fun a b -> compare a.fitness b.fitness) arr in
   let history = ref [] in

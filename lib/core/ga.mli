@@ -49,6 +49,13 @@ type params = {
           domain, each candidate mutates from its own [Rng.split] stream,
           and workers only run the pure estimator.  Both presets default
           to [Pool.default_jobs ()] ([COMPASS_JOBS], else 1). *)
+  warm_start : Partition.t list;
+      (** Seed groups injected verbatim into the initial population
+          (validity-checked; invalid seeds are dropped, excess ones
+          ignored).  Typically {!Optimal.optimize}'s group, so the GA
+          starts at the DP optimum and can only improve on its own fitness
+          proxy.  Empty (the default) leaves the search bit-identical to
+          the unseeded run. *)
 }
 
 val default_params : params
@@ -97,6 +104,7 @@ val optimize :
   ?params:params ->
   ?objective:Fitness.objective ->
   ?options:Estimator.model_options ->
+  ?cache:Estimator.Span_cache.t ->
   Dataflow.ctx ->
   Validity.t ->
   batch:int ->
@@ -104,5 +112,9 @@ val optimize :
 (** Run the search.  With [params.jobs > 1], candidate evaluation fans out
     over that many domains; the result (best plan, history, evaluation and
     cache counts) is bit-identical to the sequential run for the same
-    seed.  Raises [Invalid_argument] on inconsistent parameters
-    (e.g. [n_sel > population] or [jobs < 1]). *)
+    seed.  [?cache] supplies the run-wide span cache (extended in place):
+    pre-populated entries are pure functions of their keys, so a warm cache
+    only speeds the run up — the trajectory is unchanged, though the
+    reported [cache_spans] then counts the warm entries too.  Raises
+    [Invalid_argument] on inconsistent parameters (e.g.
+    [n_sel > population], [jobs < 1], or a cache brand mismatch). *)

@@ -35,8 +35,12 @@ let pack ?faults (units : Unit_gen.t) ~start_ ~stop ~replication =
     invalid_arg
       (Printf.sprintf "Mapping.pack: bad span [%d, %d) over %d units" start_ stop
          (Unit_gen.unit_count units));
-  (* Expand replicas, then first-fit-decreasing. *)
-  let items = ref [] in
+  (* Expand replicas into per-tile-count buckets, then first-fit-decreasing.
+     Tile counts are bounded by the core capacity, so a bucket pass replaces
+     the comparison sort.  Equal-tile items must keep the order the previous
+     [List.sort] (stable, over the prepend-reversed build list) gave them —
+     reverse build order — which prepending into buckets reproduces. *)
+  let buckets = Array.make (capacity + 1) [] in
   for i = start_ to stop - 1 do
     let u = units.Unit_gen.units.(i) in
     let r = replication i in
@@ -47,23 +51,39 @@ let pack ?faults (units : Unit_gen.t) ~start_ ~stop ~replication =
         (Printf.sprintf "Mapping.pack: unit %d exceeds a core (%d tiles > %d macros)" i
            u.Unit_gen.tiles capacity);
     for replica = 0 to r - 1 do
-      items := { unit_index = i; replica; tiles = u.Unit_gen.tiles } :: !items
+      buckets.(u.Unit_gen.tiles) <-
+        { unit_index = i; replica; tiles = u.Unit_gen.tiles } :: buckets.(u.Unit_gen.tiles)
     done
   done;
-  let sorted = List.sort (fun a b -> compare b.tiles a.tiles) !items in
+  let sorted = ref [] in
+  for t = 0 to capacity do
+    (* Prepending each bucket while walking the tile counts upward leaves
+       the flat list sorted by decreasing tiles, buckets in stored order. *)
+    sorted := List.rev_append (List.rev buckets.(t)) !sorted
+  done;
+  let sorted = !sorted in
   let cores = Array.make ncores [] in
   let tiles_used = Array.make ncores 0 in
+  (* Cores below [first_open] are filled to capacity, so no item with tiles
+     > 0 can land there; first-fit may start the scan at [first_open]
+     without changing any placement (zero-tile items still scan from 0). *)
+  let first_open = ref 0 in
   let place item =
     let rec fit c =
       if c >= ncores then false
       else if tiles_used.(c) + item.tiles <= capacities.(c) then begin
         cores.(c) <- item :: cores.(c);
         tiles_used.(c) <- tiles_used.(c) + item.tiles;
+        while
+          !first_open < ncores && tiles_used.(!first_open) >= capacities.(!first_open)
+        do
+          incr first_open
+        done;
         true
       end
       else fit (c + 1)
     in
-    fit 0
+    fit (if item.tiles > 0 then !first_open else 0)
   in
   let rec place_all = function
     | [] -> Ok ()

@@ -1,0 +1,203 @@
+type stats = {
+  valid_spans : int;
+  spans_evaluated : int;
+  edges_relaxed : int;
+  group_evaluations : int;
+}
+
+type result = {
+  objective : Fitness.objective;
+  group : Partition.t;
+  perf : Estimator.perf;
+  value : float;
+  lower_bound : float;
+  exact : bool;
+  stats : stats;
+}
+
+let objective_value objective (perf : Estimator.perf) =
+  match objective with
+  | Fitness.Latency -> perf.Estimator.batch_latency_s
+  | Fitness.Energy -> perf.Estimator.energy_j
+  | Fitness.Edp -> perf.Estimator.edp_j_s
+  | Fitness.Wear -> Fitness.group_fitness Fitness.Wear perf
+
+(* Accumulated batch latency after appending [sp] to a chain whose last
+   span is [prev] — the exact expression (and association) of
+   [Estimator.combine], so a DP path sums to the bit-identical
+   [batch_latency_s] the estimator reports for the reconstructed group. *)
+let extend_latency ~write_overlap acc prev (sp : Estimator.span_perf) =
+  let exposed_write =
+    match prev with
+    | None -> sp.Estimator.write_s
+    | Some (p : Estimator.span_perf) when write_overlap ->
+      let idle =
+        max 0. (max p.Estimator.compute_s p.Estimator.io_s -. p.Estimator.io_s)
+      in
+      max 0. (sp.Estimator.write_s -. idle)
+    | Some _ -> sp.Estimator.write_s
+  in
+  acc +. exposed_write +. max sp.Estimator.compute_s sp.Estimator.io_s
+
+(* Batch energy = sum of per-span dynamic energies + static power x batch
+   latency; the latency is edge-separable (above), so energy is too:
+   charge each edge its dynamic energy plus the static energy of the
+   latency it adds. *)
+let extend_energy ~write_overlap ~static_power_w acc prev (sp : Estimator.span_perf) =
+  let dt = extend_latency ~write_overlap 0. prev sp in
+  acc +. Fitness.span_fitness Fitness.Energy sp +. (static_power_w *. dt)
+
+(* The wear surrogate the GA minimizes is a plain span sum, accumulated in
+   the same order [Fitness.group_fitness] folds it. *)
+let extend_wear acc _prev (sp : Estimator.span_perf) =
+  acc +. Fitness.span_fitness Fitness.Wear sp
+
+(* Shortest path over the valid-span DAG with one state per valid span:
+   state (a, b) = "the chain's last span is [a, b)".  The incoming span is
+   part of the state because the write-overlap credit of span [b, c)
+   depends on the idle time of its predecessor.  Positions are processed
+   in ascending end order; ties keep the first (smallest-predecessor)
+   chain, so the result is deterministic. *)
+let run_dp ~m ~validity ~perf_of ~extend =
+  let best = Array.make_matrix (m + 1) (m + 1) infinity in
+  let parent = Array.make_matrix (m + 1) (m + 1) min_int in
+  let edges = ref 0 in
+  for b = 1 to m do
+    for a = 0 to b - 1 do
+      if Validity.is_valid validity ~start_:a ~stop:b then begin
+        let sp = perf_of a b in
+        if a = 0 then begin
+          incr edges;
+          let v = extend 0. None sp in
+          if v < best.(a).(b) then begin
+            best.(a).(b) <- v;
+            parent.(a).(b) <- -1
+          end
+        end;
+        for p = 0 to a - 1 do
+          if best.(p).(a) < infinity then begin
+            incr edges;
+            let v = extend best.(p).(a) (Some (perf_of p a)) sp in
+            if v < best.(a).(b) then begin
+              best.(a).(b) <- v;
+              parent.(a).(b) <- p
+            end
+          end
+        done
+      end
+    done
+  done;
+  (* Smallest start among the minima: scan upward with strict improvement. *)
+  let final =
+    let best_a = ref (-1) in
+    for a = 0 to m - 1 do
+      if best.(a).(m) < infinity && (!best_a < 0 || best.(a).(m) < best.(!best_a).(m))
+      then best_a := a
+    done;
+    !best_a
+  in
+  if final < 0 then invalid_arg "Optimal.optimize: no valid chain covers the units";
+  let rec back a b acc =
+    let acc = { Partition.start_ = a; Partition.stop = b } :: acc in
+    let p = parent.(a).(b) in
+    if p < 0 then acc else back p a acc
+  in
+  let group = Partition.of_spans (back final m []) in
+  (best.(final).(m), group, !edges)
+
+let count_valid_spans validity ~m =
+  let n = ref 0 in
+  for a = 0 to m - 1 do
+    n := !n + (Validity.max_end validity a - a)
+  done;
+  !n
+
+let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_options)
+    ?cache ctx validity ~batch =
+  if batch < 1 then invalid_arg "Optimal.optimize: batch < 1";
+  let m = Validity.size validity in
+  if m <> Unit_gen.unit_count (Dataflow.units ctx) then
+    invalid_arg "Optimal.optimize: validity map does not match the decomposition";
+  let cache =
+    match cache with
+    | None -> Estimator.Span_cache.create ~options ~batch ()
+    | Some c ->
+      if Estimator.Span_cache.batch c <> batch then
+        invalid_arg
+          (Printf.sprintf "Optimal.optimize: cache built for batch %d, called with %d"
+             (Estimator.Span_cache.batch c) batch);
+      if Estimator.Span_cache.options c <> options then
+        invalid_arg "Optimal.optimize: cache options mismatch";
+      c
+  in
+  let spans_before = Estimator.Span_cache.length cache in
+  let perf_of a b = Estimator.span_perf_cached ~cache ctx ~start_:a ~stop:b in
+  let chip = (Dataflow.units ctx).Unit_gen.chip in
+  let static_power_w = chip.Compass_arch.Config.chip_power_w in
+  let write_overlap = options.Estimator.write_overlap in
+  let dp extend = run_dp ~m ~validity ~perf_of ~extend in
+  let finish ~edges ~group_evaluations ~value ~lower_bound ~exact group perf =
+    {
+      objective;
+      group;
+      perf;
+      value;
+      lower_bound;
+      exact;
+      stats =
+        {
+          valid_spans = count_valid_spans validity ~m;
+          spans_evaluated = Estimator.Span_cache.length cache - spans_before;
+          edges_relaxed = edges;
+          group_evaluations;
+        };
+    }
+  in
+  match objective with
+  | Fitness.Latency ->
+    let value, group, edges = dp (extend_latency ~write_overlap) in
+    let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
+    finish ~edges ~group_evaluations:1 ~value:perf.Estimator.batch_latency_s
+      ~lower_bound:value ~exact:true group perf
+  | Fitness.Energy ->
+    let value, group, edges = dp (extend_energy ~write_overlap ~static_power_w) in
+    let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
+    finish ~edges ~group_evaluations:1 ~value:perf.Estimator.energy_j
+      ~lower_bound:value ~exact:true group perf
+  | Fitness.Wear ->
+    let value, group, edges = dp extend_wear in
+    let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
+    finish ~edges ~group_evaluations:1 ~value ~lower_bound:value ~exact:true group perf
+  | Fitness.Edp ->
+    (* EDP multiplies two chain sums, so it is not edge-separable.  Both
+       factors are: the latency-optimal and energy-optimal chains bound any
+       group's EDP from below by (E_min / batch) x L_min, and the better of
+       the two optima is the reported incumbent. *)
+    let lat_min, lat_group, lat_edges = dp (extend_latency ~write_overlap) in
+    let en_min, en_group, en_edges = dp (extend_energy ~write_overlap ~static_power_w) in
+    let lat_perf = Estimator.evaluate_cached ~cache ctx ~batch lat_group in
+    let en_perf =
+      if Partition.equal lat_group en_group then lat_perf
+      else Estimator.evaluate_cached ~cache ctx ~batch en_group
+    in
+    let group, perf =
+      if en_perf.Estimator.edp_j_s < lat_perf.Estimator.edp_j_s then (en_group, en_perf)
+      else (lat_group, lat_perf)
+    in
+    let lower_bound = en_min /. float_of_int batch *. lat_min in
+    let value = perf.Estimator.edp_j_s in
+    finish ~edges:(lat_edges + en_edges)
+      ~group_evaluations:(if Partition.equal lat_group en_group then 1 else 2)
+      ~value ~lower_bound
+      ~exact:(value <= lower_bound *. (1. +. 1e-9))
+      group perf
+
+let pp ppf r =
+  Format.fprintf ppf
+    "optimal(%s): %d partitions, value %.6g (lower bound %.6g, %s)@.  %d valid spans, %d evaluated, %d edges, %d group evaluation(s)@."
+    (Fitness.objective_to_string r.objective)
+    (Partition.partition_count r.group)
+    r.value r.lower_bound
+    (if r.exact then "exact" else "bound")
+    r.stats.valid_spans r.stats.spans_evaluated r.stats.edges_relaxed
+    r.stats.group_evaluations

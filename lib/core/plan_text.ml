@@ -138,6 +138,7 @@ let of_string text =
     group;
     perf;
     ga = None;
+    dp = None;
     faults;
   }
 

@@ -14,7 +14,7 @@ let unit_replication t units i =
 
 let max_replication t = List.fold_left (fun acc (_, r) -> max acc r) 1 t.per_layer
 
-let allocate ?faults ctx ~batch ~start_ ~stop =
+let allocate_packed ?faults ?layers ctx ~batch ~start_ ~stop =
   if batch < 1 then invalid_arg "Replication.allocate: batch < 1";
   let units = Dataflow.units ctx in
   let chip = units.Unit_gen.chip in
@@ -24,28 +24,57 @@ let allocate ?faults ctx ~batch ~start_ ~stop =
     | Some f ->
       Fault.total_capacity f ~macros_per_core:chip.Config.core.Config.macros_per_core
   in
-  let layers = Array.of_list (Perf_model.span_layers ctx ~start_ ~stop) in
+  let layers =
+    Array.of_list
+      (match layers with
+      | Some l -> l
+      | None -> Perf_model.span_layers ctx ~start_ ~stop)
+  in
   let n = Array.length layers in
   let rep = Array.make n 1 in
   let tiles l = layers.(l).Perf_model.tiles_in_span in
   let used = ref (Array.fold_left (fun acc p -> acc + p.Perf_model.tiles_in_span) 0 layers) in
-  let stage l = Perf_model.stage_time_s layers.(l) ~replication:rep.(l) in
+  (* Per-layer constants of the greedy loop, hoisted out of the O(n) scans.
+     Each is the exact left-associated prefix of the original expression, so
+     the floats (and therefore every greedy decision) are unchanged. *)
+  let fbatch = float_of_int batch in
+  let wl = Compass_arch.Crossbar.write_latency_s chip.Config.crossbar in
+  let fcores = float_of_int chip.Config.cores in
+  (* stage l = mvms * op_time / rep; the numerator is constant, and the
+     value only changes when [rep.(l)] does, so both it and the replica's
+     marginal saving are cached per layer and refreshed on increment.  The
+     greedy scans below then compare cached floats instead of re-dividing. *)
+  let stage_num =
+    Array.map
+      (fun p -> float_of_int p.Perf_model.mvms *. p.Perf_model.op_time_s)
+      layers
+  in
+  let stage_arr = Array.map (fun num -> num /. 1.) stage_num in
+  let stage l = stage_arr.(l) in
   (* Marginal cost of one more replica: its macros must be programmed at
      every weight replacement; cores program in parallel, so the added time
      is roughly the replica's rows spread across the chip. *)
-  let fbatch = float_of_int batch in
-  let write_cost l =
-    float_of_int (tiles l)
-    *. Compass_arch.Crossbar.write_latency_s chip.Config.crossbar
-    /. float_of_int chip.Config.cores
+  let write_cost_arr =
+    Array.init n (fun l -> float_of_int (tiles l) *. wl /. fcores)
   in
-  let compute_saving l =
-    let r = float_of_int rep.(l) in
-    fbatch
-    *. float_of_int layers.(l).Perf_model.mvms
-    *. layers.(l).Perf_model.op_time_s
-    *. ((1. /. r) -. (1. /. (r +. 1.)))
+  let write_cost l = write_cost_arr.(l) in
+  let saving_num =
+    Array.map
+      (fun p -> fbatch *. float_of_int p.Perf_model.mvms *. p.Perf_model.op_time_s)
+      layers
   in
+  let saving_at l r =
+    let r = float_of_int r in
+    saving_num.(l) *. ((1. /. r) -. (1. /. (r +. 1.)))
+  in
+  let saving_arr = Array.init n (fun l -> saving_at l 1) in
+  let compute_saving l = saving_arr.(l) in
+  let set_rep l r =
+    rep.(l) <- r;
+    stage_arr.(l) <- stage_num.(l) /. float_of_int r;
+    saving_arr.(l) <- saving_at l r
+  in
+  let max_rep = Array.map Perf_model.max_useful_replication layers in
   (* Greedy: replicate the current bottleneck while capacity allows, the
      bottleneck can still improve, and the batch amortizes the extra
      programming (the paper's joint replacement/replication trade-off). *)
@@ -54,7 +83,7 @@ let allocate ?faults ctx ~batch ~start_ ~stop =
     let bottleneck = ref (-1) in
     for l = 0 to n - 1 do
       if layers.(l).Perf_model.mvms > 1
-         && rep.(l) < Perf_model.max_useful_replication layers.(l)
+         && rep.(l) < max_rep.(l)
          && tiles l > 0
          && !used + tiles l <= budget
          && compute_saving l > write_cost l
@@ -70,7 +99,7 @@ let allocate ?faults ctx ~batch ~start_ ~stop =
       done;
       if stage !bottleneck >= !global_worst *. (1. -. 1e-9) then begin
         let l = !bottleneck in
-        rep.(l) <- rep.(l) + 1;
+        set_rep l (rep.(l) + 1);
         used := !used + tiles l;
         incremented := l :: !incremented;
         grow ()
@@ -83,27 +112,32 @@ let allocate ?faults ctx ~batch ~start_ ~stop =
   let per_layer () =
     List.mapi (fun l p -> (p.Perf_model.node, rep.(l))) (Array.to_list layers)
   in
-  let feasible () =
-    let alloc = { per_layer = per_layer (); tiles_used = !used; spare_tiles = 0 } in
-    match
-      Mapping.pack ?faults units ~start_ ~stop ~replication:(fun i ->
-          unit_replication alloc units i)
-    with
-    | Ok _ -> true
-    | Error _ -> false
+  (* Same replication function [unit_replication] would compute from the
+     assoc list, as a per-node array lookup (absent nodes replicate 1x). *)
+  let nnodes = Compass_nn.Graph.node_count units.Unit_gen.model in
+  let try_pack () =
+    let rep_of_node = Array.make nnodes 1 in
+    Array.iteri (fun l p -> rep_of_node.(p.Perf_model.node) <- rep.(l)) layers;
+    Mapping.pack ?faults units ~start_ ~stop ~replication:(fun i ->
+        rep_of_node.(Unit_gen.layer_of_unit units i))
   in
   let rec shrink () =
-    if not (feasible ()) then
+    match try_pack () with
+    | Ok m -> Ok m
+    | Error _ as e -> (
       match !incremented with
-      | [] -> () (* replication 1 must fit: the span came from the validity map *)
+      | [] -> e (* replication 1 must fit: the span came from the validity map *)
       | l :: rest ->
-        rep.(l) <- rep.(l) - 1;
+        set_rep l (rep.(l) - 1);
         used := !used - tiles l;
         incremented := rest;
-        shrink ()
+        shrink ())
   in
-  shrink ();
-  { per_layer = per_layer (); tiles_used = !used; spare_tiles = budget - !used }
+  let packed = shrink () in
+  ({ per_layer = per_layer (); tiles_used = !used; spare_tiles = budget - !used }, packed)
+
+let allocate ?faults ?layers ctx ~batch ~start_ ~stop =
+  fst (allocate_packed ?faults ?layers ctx ~batch ~start_ ~stop)
 
 let pp ctx ppf t =
   let model = (Dataflow.units ctx).Unit_gen.model in

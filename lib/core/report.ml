@@ -20,10 +20,64 @@ let row_of_plan (plan : Compiler.t) =
   }
 
 let compare_schemes ?objective ?ga_params ~model ~chip ~batch () =
+  (* One front end and one span cache for all schemes: every distinct span
+     is estimated once no matter how many schemes request it. *)
+  let prepared = Compiler.prepare ~model ~chip () in
+  let cache = Estimator.Span_cache.create ~batch () in
   List.map
     (fun scheme ->
-      row_of_plan (Compiler.compile ?objective ?ga_params ~model ~chip ~batch scheme))
+      row_of_plan
+        (Compiler.compile_prepared ?objective ?ga_params ~cache ~batch prepared scheme))
     [ Compiler.Compass; Compiler.Greedy; Compiler.Layerwise ]
+
+type gap_row = {
+  gap_scheme : string;
+  gap_value : float;
+  gap : float;
+}
+
+let optimality_gap ?(objective = Fitness.Latency) ?ga_params ~model ~chip ~batch () =
+  let prepared = Compiler.prepare ~model ~chip () in
+  let cache = Estimator.Span_cache.create ~batch () in
+  let plan scheme =
+    Compiler.compile_prepared ~objective ?ga_params ~cache ~batch prepared scheme
+  in
+  let dp_plan = plan Compiler.Optimal in
+  let dp =
+    match dp_plan.Compiler.dp with
+    | Some dp -> dp
+    | None -> assert false (* the Optimal scheme always records its result *)
+  in
+  let bound = dp.Optimal.lower_bound in
+  let row (p : Compiler.t) =
+    let v = Optimal.objective_value objective p.Compiler.perf in
+    {
+      gap_scheme = Compiler.scheme_to_string p.Compiler.scheme;
+      gap_value = v;
+      gap = (if bound > 0. then (v /. bound) -. 1. else 0.);
+    }
+  in
+  (dp, List.map row [ dp_plan; plan Compiler.Compass; plan Compiler.Greedy; plan Compiler.Layerwise ])
+
+let optimality_gap_table ~objective (dp, rows) =
+  let open Compass_util in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "scheme"; Fitness.objective_to_string objective; "gap" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ r.gap_scheme; Printf.sprintf "%.6g" r.gap_value; Printf.sprintf "%+.2f%%" (100. *. r.gap) ])
+    rows;
+  Table.add_row table
+    [
+      (if dp.Optimal.exact then "(dp optimum)" else "(dp lower bound)");
+      Printf.sprintf "%.6g" dp.Optimal.lower_bound;
+      "";
+    ];
+  table
 
 let find_scheme rows name =
   match List.find_opt (fun r -> r.scheme = name) rows with

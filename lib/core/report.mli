@@ -22,7 +22,33 @@ val compare_schemes :
   unit ->
   row list
 (** Compile all three schemes on one workload; rows in
-    [compass; greedy; layerwise] order. *)
+    [compass; greedy; layerwise] order.  The schemes share one prepared
+    front end and one span cache, so each distinct span is estimated
+    once. *)
+
+type gap_row = {
+  gap_scheme : string;
+  gap_value : float;  (** {!Optimal.objective_value} of the scheme's plan. *)
+  gap : float;  (** [value / dp lower bound - 1]; 0 means provably optimal. *)
+}
+
+val optimality_gap :
+  ?objective:Fitness.objective ->
+  ?ga_params:Ga.params ->
+  model:Compass_nn.Graph.t ->
+  chip:Compass_arch.Config.chip ->
+  batch:int ->
+  unit ->
+  Optimal.result * gap_row list
+(** How far each scheme lands from the DP's certified bound, in
+    [dp; compass; greedy; layerwise] order ([objective] defaults to
+    latency).  All four share one front end and span cache.  For the exact
+    objectives the dp row's gap is 0 by construction; for EDP it is the
+    bound-tightness of the incumbent. *)
+
+val optimality_gap_table :
+  objective:Fitness.objective -> Optimal.result * gap_row list -> Compass_util.Table.t
+(** Render {!optimality_gap}'s result, with the bound as a trailer row. *)
 
 val speedup : row list -> over:string -> float
 (** Throughput of the "compass" row over the named baseline row.

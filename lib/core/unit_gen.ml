@@ -21,6 +21,8 @@ type t = {
   chip : Config.chip;
   units : unit_t array;
   layer_units : (Graph.node * int list) list;
+  tiles_prefix : int array;
+  weight_bytes_prefix : float array;
 }
 
 let ceil_div a b = (a + b - 1) / b
@@ -120,12 +122,18 @@ let generate model chip =
       per_layer := (node, List.map (fun u -> u.index) units) :: !per_layer;
       all := List.rev_append units !all)
     weighted;
-  {
-    model;
-    chip;
-    units = Array.of_list (List.rev !all);
-    layer_units = List.rev !per_layer;
-  }
+  let units = Array.of_list (List.rev !all) in
+  let m = Array.length units in
+  (* Prefix sums make span tile/byte queries O(1).  Per-unit weight bytes
+     are dyadic rationals far below 2^52, so every partial sum is exact and
+     prefix differences match the direct left-to-right sum bit for bit. *)
+  let tiles_prefix = Array.make (m + 1) 0 in
+  let weight_bytes_prefix = Array.make (m + 1) 0. in
+  for i = 0 to m - 1 do
+    tiles_prefix.(i + 1) <- tiles_prefix.(i) + units.(i).tiles;
+    weight_bytes_prefix.(i + 1) <- weight_bytes_prefix.(i) +. units.(i).weight_bytes
+  done;
+  { model; chip; units; layer_units = List.rev !per_layer; tiles_prefix; weight_bytes_prefix }
 
 let unit_count t = Array.length t.units
 
@@ -137,20 +145,12 @@ let layer_of_unit t i =
 
 let span_tiles t a b =
   if a < 0 || b > Array.length t.units || a > b then invalid_arg "Unit_gen.span_tiles";
-  let acc = ref 0 in
-  for i = a to b - 1 do
-    acc := !acc + t.units.(i).tiles
-  done;
-  !acc
+  t.tiles_prefix.(b) - t.tiles_prefix.(a)
 
 let span_weight_bytes t a b =
   if a < 0 || b > Array.length t.units || a > b then
     invalid_arg "Unit_gen.span_weight_bytes";
-  let acc = ref 0. in
-  for i = a to b - 1 do
-    acc := !acc +. t.units.(i).weight_bytes
-  done;
-  !acc
+  t.weight_bytes_prefix.(b) -. t.weight_bytes_prefix.(a)
 
 let total_tiles t = span_tiles t 0 (Array.length t.units)
 

@@ -35,6 +35,12 @@ type t = {
   units : unit_t array;
   layer_units : (Compass_nn.Graph.node * int list) list;
       (** For each weighted node, the indices of its units (ascending). *)
+  tiles_prefix : int array;
+      (** [tiles_prefix.(i)] = tiles of units [0, i); length [M + 1]. *)
+  weight_bytes_prefix : float array;
+      (** Prefix sums of per-unit weight bytes; exact (the addends are
+          dyadic rationals well below the 53-bit mantissa), so differences
+          equal the direct span sum bit for bit. *)
 }
 
 val generate : Compass_nn.Graph.t -> Compass_arch.Config.chip -> t
@@ -49,9 +55,10 @@ val units_of_layer : t -> Compass_nn.Graph.node -> int list
 val layer_of_unit : t -> int -> Compass_nn.Graph.node
 
 val span_tiles : t -> int -> int -> int
-(** [span_tiles t a b] sums tiles over units [a, b). *)
+(** [span_tiles t a b] sums tiles over units [a, b); O(1) via prefix sums. *)
 
 val span_weight_bytes : t -> int -> int -> float
+(** O(1) via {!field-weight_bytes_prefix}. *)
 
 val total_tiles : t -> int
 

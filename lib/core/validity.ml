@@ -19,10 +19,7 @@ let build ?faults (units : Unit_gen.t) =
         ~macros_per_core:chip.Compass_arch.Config.core.Compass_arch.Config.macros_per_core
   in
   let tiles = Array.map (fun u -> u.Unit_gen.tiles) units.Unit_gen.units in
-  let prefix = Array.make (m + 1) 0 in
-  for i = 0 to m - 1 do
-    prefix.(i + 1) <- prefix.(i) + tiles.(i)
-  done;
+  let prefix = units.Unit_gen.tiles_prefix in
   let max_end_ = Array.make m 0 in
   (* Two-pointer capacity bound, then walk back over bin-packing failures so
      that every stop <= max_end is feasible. *)
@@ -76,20 +73,26 @@ let density t =
     float_of_int !valid /. float_of_int all
   end
 
-let random_group rng t =
-  let m = size t in
+(* Randomly tile [lo, hi) with valid spans, clamping each step so the walk
+   lands exactly on [hi].  Half the time jump as far as possible; otherwise
+   uniform — this biases early populations towards fewer partitions.  The
+   single bias policy shared by {!random_group} and the GA's FixedRandom
+   mutation: the draw sequence (bool, then maybe int_in) is part of the
+   bit-identical-results contract. *)
+let random_cover rng t ~lo ~hi =
   let rec walk acc pos =
-    if pos >= m then List.rev acc
+    if pos >= hi then List.rev acc
     else
-      let hi = t.max_end_.(pos) in
-      (* Half the time jump as far as possible; otherwise uniform.  This
-         biases early populations towards fewer partitions. *)
+      let bound = min t.max_end_.(pos) hi in
       let stop =
-        if Compass_util.Rng.bool rng then hi else Compass_util.Rng.int_in rng (pos + 1) hi
+        if Compass_util.Rng.bool rng then bound
+        else Compass_util.Rng.int_in rng (pos + 1) bound
       in
       walk ({ Partition.start_ = pos; stop } :: acc) stop
   in
-  Partition.of_spans (walk [] 0)
+  walk [] lo
+
+let random_group rng t = Partition.of_spans (random_cover rng t ~lo:0 ~hi:(size t))
 
 let render ?(cells = 32) t =
   let m = size t in

@@ -42,11 +42,17 @@ val density : t -> float
     portion" the paper shows shrinking for larger models on smaller
     chips. *)
 
+val random_cover : Compass_util.Rng.t -> t -> lo:int -> hi:int -> Partition.span list
+(** Randomly tile [\[lo, hi)] with valid spans, clamping each step so the
+    walk lands exactly on [hi].  Half the time each step jumps as far as
+    the map allows (biasing towards fewer partitions); otherwise the end is
+    uniform in the valid range.  The single random-cover policy shared by
+    {!random_group} and the GA's FixedRandom mutation — its draw sequence
+    is part of the GA's bit-identical-results contract. *)
+
 val random_group : Compass_util.Rng.t -> t -> Partition.t
-(** Draw a uniformly-covering valid partition group: walk from 0, choosing
-    each partition end within the valid range (biased towards larger
-    partitions, matching the paper's observation that initial populations
-    start with few partitions). *)
+(** Draw a uniformly-covering valid partition group:
+    [random_cover rng t ~lo:0 ~hi:(size t)] as a partition group. *)
 
 val render : ?cells:int -> t -> string
 (** ASCII heat map ([cells] x [cells], default 32): ['#'] valid span,

@@ -1,0 +1,288 @@
+(* Tests for the exact DP partitioner: brute-force agreement on small
+   nets, dominance over the heuristic schemes, the GA warm start, and the
+   bit-identity golden line protecting both (the unseeded GA must not
+   notice any of this machinery). *)
+
+open Compass_core
+open Compass_arch
+
+let setup name chip =
+  let units = Unit_gen.generate (Compass_nn.Models.by_name name) chip in
+  let v = Validity.build units in
+  (units, v, Dataflow.context units)
+
+(* Every valid partition group, by recursion over the validity map.  Only
+   usable on tiny nets (lenet5-S has a handful of groups). *)
+let all_valid_groups validity =
+  let m = Validity.size validity in
+  let rec walk pos =
+    if pos = m then [ [] ]
+    else
+      List.concat_map
+        (fun stop ->
+          List.map
+            (fun rest -> { Partition.start_ = pos; Partition.stop = stop } :: rest)
+            (walk stop))
+        (List.init (Validity.max_end validity pos - pos) (fun k -> pos + 1 + k))
+  in
+  List.map Partition.of_spans (walk 0)
+
+let brute_force_min ctx validity ~batch objective =
+  List.fold_left
+    (fun acc g ->
+      min acc (Optimal.objective_value objective (Estimator.evaluate ctx ~batch g)))
+    infinity (all_valid_groups validity)
+
+let test_brute_force_agreement () =
+  List.iter
+    (fun model_name ->
+      let _, v, ctx = setup model_name Config.chip_s in
+      List.iter
+        (fun objective ->
+          let name =
+            Printf.sprintf "%s %s" model_name (Fitness.objective_to_string objective)
+          in
+          let bf = brute_force_min ctx v ~batch:8 objective in
+          let dp = Optimal.optimize ~objective ctx v ~batch:8 in
+          match objective with
+          | Fitness.Latency | Fitness.Wear ->
+            (* The DP accumulates in the estimator's exact association, so
+               the optimum matches brute force bit-for-bit. *)
+            Alcotest.(check (float 0.)) name bf dp.Optimal.value;
+            Alcotest.(check (float 0.)) (name ^ " bound") bf dp.Optimal.lower_bound;
+            Alcotest.(check bool) (name ^ " exact") true dp.Optimal.exact
+          | Fitness.Energy ->
+            (* Edge costs re-associate the component sums; exact up to
+               float rounding. *)
+            Alcotest.(check bool) name true
+              (Float.abs (dp.Optimal.value -. bf) <= 1e-12 *. bf)
+          | Fitness.Edp ->
+            (* Not separable: the bound must be below, the incumbent at or
+               above, every group's EDP. *)
+            Alcotest.(check bool) (name ^ " bound below min") true
+              (dp.Optimal.lower_bound <= bf *. (1. +. 1e-12));
+            Alcotest.(check bool) (name ^ " incumbent achievable") true
+              (dp.Optimal.value >= bf *. (1. -. 1e-12)))
+        [ Fitness.Latency; Fitness.Energy; Fitness.Edp; Fitness.Wear ])
+    [ "lenet5"; "tiny_mlp"; "tiny_resnet" ]
+
+let test_dp_group_is_valid () =
+  List.iter
+    (fun (model_name, chip) ->
+      let units, v, ctx = setup model_name chip in
+      let dp = Optimal.optimize ctx v ~batch:16 in
+      Alcotest.(check int) "covers" (Unit_gen.unit_count units)
+        (Partition.total_units dp.Optimal.group);
+      Alcotest.(check bool) "valid" true (Validity.group_valid v dp.Optimal.group);
+      Alcotest.(check (float 0.)) "value is the group's latency"
+        dp.Optimal.perf.Estimator.batch_latency_s dp.Optimal.value)
+    [ ("resnet18", Config.chip_s); ("squeezenet", Config.chip_s); ("vgg16", Config.chip_m) ]
+
+let test_dp_dominates_heuristics () =
+  (* The certified optimum must be at or below every other scheme on the
+     true batch latency — GA included. *)
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let dp = Optimal.optimize ctx v ~batch:16 in
+  let lat g = (Estimator.evaluate ctx ~batch:16 g).Estimator.batch_latency_s in
+  let ga = Ga.optimize ~params:{ Ga.quick_params with Ga.seed = 5 } ctx v ~batch:16 in
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) (name ^ " >= dp") true (lat g >= dp.Optimal.value))
+    [
+      ("ga", ga.Ga.best.Ga.group);
+      ("greedy", Baselines.greedy v);
+      ("layerwise", Baselines.layerwise v);
+    ]
+
+let prop_dp_below_random_groups =
+  QCheck.Test.make ~name:"dp value <= any random valid group" ~count:60
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 32))
+    (fun (seed, batch) ->
+      let _, v, ctx = setup "lenet5" Config.chip_s in
+      let g = Validity.random_group (Compass_util.Rng.create seed) v in
+      List.for_all
+        (fun objective ->
+          let dp = Optimal.optimize ~objective ctx v ~batch in
+          dp.Optimal.lower_bound
+          <= Optimal.objective_value objective (Estimator.evaluate ctx ~batch g)
+             *. (1. +. 1e-12))
+        [ Fitness.Latency; Fitness.Energy; Fitness.Edp; Fitness.Wear ])
+
+let test_dp_deterministic () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let a = Optimal.optimize ctx v ~batch:16 in
+  let b = Optimal.optimize ctx v ~batch:16 in
+  Alcotest.(check bool) "same group" true (Partition.equal a.Optimal.group b.Optimal.group);
+  Alcotest.(check (float 0.)) "same value" a.Optimal.value b.Optimal.value
+
+let test_dp_far_fewer_evaluations () =
+  (* The headline trade: one group evaluation (plus one span sweep) versus
+     the GA's hundreds. *)
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let dp = Optimal.optimize ctx v ~batch:16 in
+  let ga = Ga.optimize ~params:{ Ga.quick_params with Ga.seed = 5 } ctx v ~batch:16 in
+  Alcotest.(check bool) "10x fewer group evaluations" true
+    (10 * dp.Optimal.stats.Optimal.group_evaluations <= ga.Ga.evaluations);
+  Alcotest.(check int) "every valid span evaluated once"
+    dp.Optimal.stats.Optimal.valid_spans dp.Optimal.stats.Optimal.spans_evaluated
+
+let test_warm_cache_reused () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let cache = Estimator.Span_cache.create ~batch:16 () in
+  let a = Optimal.optimize ~cache ctx v ~batch:16 in
+  let b = Optimal.optimize ~cache ctx v ~batch:16 in
+  Alcotest.(check int) "second run all hits" 0 b.Optimal.stats.Optimal.spans_evaluated;
+  Alcotest.(check bool) "same group" true (Partition.equal a.Optimal.group b.Optimal.group);
+  (* Brand mismatches fail fast rather than mixing entries. *)
+  Alcotest.check_raises "batch mismatch"
+    (Invalid_argument "Optimal.optimize: cache built for batch 16, called with 8")
+    (fun () -> ignore (Optimal.optimize ~cache ctx v ~batch:8))
+
+(* The golden line for {Ga.quick_params with seed = 5} on resnet18-S-16,
+   recorded before the DP/warm-start machinery existed.  An empty
+   [warm_start] must leave the GA's draw sequence untouched, so this is
+   bit-exact. *)
+let golden_fitness = 0.0093858130185185181
+let golden_cuts = [ 0; 10; 15; 32; 48; 64; 80; 91 ]
+let golden_evaluations = 204
+let golden_generations = 10
+let golden_cache_spans = 422
+
+let test_golden_ga_unchanged () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let r = Ga.optimize ~params:{ Ga.quick_params with Ga.seed = 5 } ctx v ~batch:16 in
+  Alcotest.(check (float 0.)) "fitness" golden_fitness r.Ga.best.Ga.fitness;
+  Alcotest.(check (list int)) "cuts" golden_cuts
+    (Array.to_list (Partition.cuts r.Ga.best.Ga.group));
+  Alcotest.(check int) "evaluations" golden_evaluations r.Ga.evaluations;
+  Alcotest.(check int) "generations" golden_generations r.Ga.generations_run;
+  Alcotest.(check int) "cache spans" golden_cache_spans r.Ga.cache_spans
+
+let test_warm_start_seeds_population () =
+  let _, v, ctx = setup "resnet18" Config.chip_s in
+  let dp = Optimal.optimize ctx v ~batch:16 in
+  let seed_fitness =
+    Fitness.group_fitness Fitness.Latency
+      (Estimator.evaluate ctx ~batch:16 dp.Optimal.group)
+  in
+  let warm =
+    Ga.optimize
+      ~params:{ Ga.quick_params with Ga.seed = 5; Ga.warm_start = [ dp.Optimal.group ] }
+      ctx v ~batch:16
+  in
+  (* Selection is elitist, so the best fitness can never exceed the
+     injected seed's. *)
+  Alcotest.(check bool) "never worse than the seed" true
+    (warm.Ga.best.Ga.fitness <= seed_fitness);
+  Alcotest.(check bool) "result valid" true
+    (Validity.group_valid v warm.Ga.best.Ga.group);
+  (* Invalid seeds are dropped, not propagated. *)
+  let bogus = Partition.singleton (Validity.size v) in
+  if not (Validity.group_valid v bogus) then begin
+    let r =
+      Ga.optimize
+        ~params:{ Ga.quick_params with Ga.seed = 5; Ga.warm_start = [ bogus ] }
+        ctx v ~batch:16
+    in
+    Alcotest.(check (float 0.)) "dropped seed = unseeded run" golden_fitness
+      r.Ga.best.Ga.fitness
+  end
+
+let test_compiler_scheme () =
+  let model = Compass_nn.Models.by_name "resnet18" in
+  let chip = Config.chip_s in
+  let plan = Compiler.compile ~model ~chip ~batch:16 Compiler.Optimal in
+  Alcotest.(check bool) "dp result present" true (plan.Compiler.dp <> None);
+  Alcotest.(check bool) "ga absent" true (plan.Compiler.ga = None);
+  Alcotest.(check string) "name" "dp" (Compiler.scheme_to_string plan.Compiler.scheme);
+  Alcotest.(check bool) "round trip" true
+    (Compiler.scheme_of_string "optimal" = Compiler.Optimal
+    && Compiler.scheme_of_string "DP" = Compiler.Optimal);
+  let dp = Option.get plan.Compiler.dp in
+  Alcotest.(check (float 0.)) "plan perf is the dp group's"
+    dp.Optimal.perf.Estimator.batch_latency_s plan.Compiler.perf.Estimator.batch_latency_s
+
+let test_compile_prepared_bit_identical () =
+  (* The amortized front end and the shared span cache must not change any
+     plan: same cuts, same floats, with and without them. *)
+  let model = Compass_nn.Models.by_name "resnet18" in
+  let chip = Config.chip_s in
+  let ga_params = { Ga.quick_params with Ga.seed = 5 } in
+  let prepared = Compiler.prepare ~model ~chip () in
+  let cache = Estimator.Span_cache.create ~batch:16 () in
+  List.iter
+    (fun scheme ->
+      let direct = Compiler.compile ~ga_params ~model ~chip ~batch:16 scheme in
+      let shared =
+        Compiler.compile_prepared ~ga_params ~cache ~batch:16 prepared scheme
+      in
+      let name = Compiler.scheme_to_string scheme in
+      Alcotest.(check bool) (name ^ " same group") true
+        (Partition.equal direct.Compiler.group shared.Compiler.group);
+      Alcotest.(check (float 0.)) (name ^ " same latency")
+        direct.Compiler.perf.Estimator.batch_latency_s
+        shared.Compiler.perf.Estimator.batch_latency_s;
+      Alcotest.(check (float 0.)) (name ^ " same energy")
+        direct.Compiler.perf.Estimator.energy_j shared.Compiler.perf.Estimator.energy_j)
+    [ Compiler.Optimal; Compiler.Compass; Compiler.Greedy; Compiler.Layerwise ]
+
+let test_warm_start_compile () =
+  let model = Compass_nn.Models.by_name "resnet18" in
+  let plan =
+    Compiler.compile
+      ~ga_params:{ Ga.quick_params with Ga.seed = 5 }
+      ~warm_start:true ~model ~chip:Config.chip_s ~batch:16 Compiler.Compass
+  in
+  let dp = Option.get plan.Compiler.dp in
+  (* The GA may keep the DP seed or improve its own proxy around it, but
+     the compiled plan can never be slower than simply taking the seed's
+     proxy fitness. *)
+  let ga = Option.get plan.Compiler.ga in
+  Alcotest.(check bool) "ga <= seed proxy" true
+    (ga.Ga.best.Ga.fitness
+    <= Fitness.group_fitness Fitness.Latency dp.Optimal.perf)
+
+let test_optimality_gap_report () =
+  let model = Compass_nn.Models.by_name "resnet18" in
+  let dp, rows =
+    Report.optimality_gap
+      ~ga_params:{ Ga.quick_params with Ga.seed = 5 }
+      ~model ~chip:Config.chip_s ~batch:16 ()
+  in
+  Alcotest.(check (list string)) "row order"
+    [ "dp"; "compass"; "greedy"; "layerwise" ]
+    (List.map (fun r -> r.Report.gap_scheme) rows);
+  Alcotest.(check bool) "dp gap zero" true
+    ((List.hd rows).Report.gap <= 1e-12);
+  List.iter
+    (fun r -> Alcotest.(check bool) (r.Report.gap_scheme ^ " >= bound") true (r.Report.gap >= -.1e-12))
+    rows;
+  Alcotest.(check bool) "latency dp exact" true dp.Optimal.exact
+
+let () =
+  Alcotest.run "optimal"
+    [
+      ( "dp",
+        [
+          Alcotest.test_case "brute force agreement" `Quick test_brute_force_agreement;
+          Alcotest.test_case "group valid" `Quick test_dp_group_is_valid;
+          Alcotest.test_case "dominates heuristics" `Quick test_dp_dominates_heuristics;
+          Alcotest.test_case "deterministic" `Quick test_dp_deterministic;
+          Alcotest.test_case "evaluation counts" `Quick test_dp_far_fewer_evaluations;
+          Alcotest.test_case "warm cache" `Quick test_warm_cache_reused;
+          QCheck_alcotest.to_alcotest prop_dp_below_random_groups;
+        ] );
+      ( "warm-start",
+        [
+          Alcotest.test_case "golden GA line unchanged" `Quick test_golden_ga_unchanged;
+          Alcotest.test_case "seeded population" `Quick test_warm_start_seeds_population;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "dp scheme" `Quick test_compiler_scheme;
+          Alcotest.test_case "prepared bit-identical" `Quick
+            test_compile_prepared_bit_identical;
+          Alcotest.test_case "warm-start compile" `Quick test_warm_start_compile;
+          Alcotest.test_case "optimality gap report" `Quick test_optimality_gap_report;
+        ] );
+    ]
