@@ -3,9 +3,16 @@
    Subcommands:
      info      hardware presets and model zoo summaries
      compile   run one scheme on one workload, print the plan
+     verify    independently re-check an archived plan's legality
      validity  render a partition validity map (paper Fig. 5)
      sweep     compare compass/greedy/layerwise across workloads (Fig. 6)
-     gap       optimality gap of every scheme against the exact DP bound  *)
+     gap       optimality gap of every scheme against the exact DP bound
+
+   Exit codes (documented in README.md):
+     0  success
+     1  verify: the plan violates at least one invariant
+     2  user error (unknown names, malformed files, infeasible scenarios)
+     3  internal error — a compass bug, with a bug-report hint on stderr  *)
 
 open Cmdliner
 open Compass_core
@@ -105,14 +112,32 @@ let lookup_chip label =
     Printf.eprintf "unknown chip %s (try S, M, L)\n" label;
     exit 2
 
-(* Misuse (unknown scheme names, bad fault specs, infeasible fault
-   scenarios, ...) surfaces as Invalid_argument from the library; turn it
-   into a one-line error and exit 2 instead of an uncaught backtrace. *)
+(* Misuse (unknown scheme names, bad fault specs, malformed artifact
+   files, infeasible fault scenarios, ...) surfaces as Invalid_argument /
+   Load_error / Sys_error from the library: one-line diagnostic, exit 2.
+   Anything else escaping the library is a compass bug: exit 3 with a
+   bug-report hint.  COMPASS_INTERNAL_FAULT=1 injects a synthetic internal
+   failure so the exit-3 path itself is testable. *)
 let guard f =
-  try f ()
-  with Invalid_argument msg ->
+  try
+    (match Sys.getenv_opt "COMPASS_INTERNAL_FAULT" with
+    | Some "1" -> failwith "synthetic internal fault (COMPASS_INTERNAL_FAULT=1)"
+    | Some _ | None -> ());
+    f ()
+  with
+  | Invalid_argument msg | Sys_error msg | Plan_text.Load_error msg ->
     Printf.eprintf "compass: %s\n" msg;
     exit 2
+  | Compass_nn.Model_text.Parse_error (line, msg) ->
+    Printf.eprintf "compass: line %d: %s\n" line msg;
+    exit 2
+  | e ->
+    Printf.eprintf
+      "compass: internal error: %s\n\
+       This is a bug in compass, not in your input.  Please report it together\n\
+       with the exact command line and any input files.\n"
+      (Printexc.to_string e);
+    exit 3
 
 let realize_faults spec ~seed chip =
   let f =
@@ -151,14 +176,46 @@ let info_cmd =
 
 (* compile *)
 
+let deadline_arg =
+  let doc =
+    "Wall-clock search budget in seconds.  The GA/DP search becomes anytime: \
+     when the deadline expires it stops and the plan is the best candidate \
+     found so far (overrunning by at most one evaluation wave)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
 let compile_cmd =
   let save_arg =
     Arg.(
       value & opt (some string) None
       & info [ "save" ] ~docv:"PATH" ~doc:"Archive the compiled plan (see Plan_text).")
   in
+  let checkpoint_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Write a GA checkpoint to $(docv) after every completed generation \
+             (atomic write; compass scheme only).")
+  in
+  let resume_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:
+            "Resume the GA from a checkpoint written by $(b,--checkpoint).  The \
+             resumed search is bit-identical to the uninterrupted one.")
+  in
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-check the compiled plan with the independent verifier; a \
+             violation here is a compass bug and exits 3.")
+  in
   let run model chip batch scheme objective seed jobs simulate quick save tech faults
-      fault_seed warm_start =
+      fault_seed warm_start deadline checkpoint resume verify =
    guard @@ fun () ->
     let model = lookup_model model in
     let chip = retarget ~tech:(lookup_tech tech) (lookup_chip chip) in
@@ -168,11 +225,28 @@ let compile_cmd =
     (match faults with
     | Some f -> Format.printf "%a@." Compass_arch.Fault.pp f
     | None -> ());
+    let budget = Option.map (fun s -> Compass_util.Budget.of_deadline s) deadline in
+    let resume = Option.map Plan_text.load_checkpoint resume in
+    let on_checkpoint =
+      Option.map (fun path ck -> Plan_text.save_checkpoint path ck) checkpoint
+    in
     let plan =
       Compiler.compile ~objective
         ~ga_params:(ga_params ~quick ~seed ~jobs)
-        ~warm_start ?faults ~model ~chip ~batch scheme
+        ~warm_start ?faults ?budget ?resume ?on_checkpoint ~model ~chip ~batch scheme
     in
+    if plan.Compiler.budget_exhausted then
+      Format.printf
+        "deadline expired: this plan is the best candidate found within the budget@.";
+    if verify then begin
+      match Verify.check plan with
+      | [] -> Format.printf "verified: plan satisfies all verifier invariants@."
+      | violations ->
+        Printf.eprintf "compass: the compiled plan fails its own verifier:\n%s\n%s\n"
+          (Verify.render violations)
+          "This is a bug in compass; please report it with the exact command line.";
+        exit 3
+    end;
     Format.printf "%a" Compiler.pp_plan plan;
     (match plan.Compiler.ga with
     | Some ga ->
@@ -203,7 +277,8 @@ let compile_cmd =
     Term.(
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
       $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg
-      $ faults_arg $ fault_seed_arg $ warm_start_arg)
+      $ faults_arg $ fault_seed_arg $ warm_start_arg $ deadline_arg $ checkpoint_arg
+      $ resume_arg $ verify_flag)
 
 (* plan: reload an archived plan *)
 
@@ -223,11 +298,39 @@ let plan_cmd =
       Format.printf "%a" Compiler.pp_plan plan;
       if layers then Compass_util.Table.print (Report.plan_layer_table plan)
     | exception Plan_text.Load_error msg ->
-      Printf.eprintf "%s: %s\n" file msg;
-      exit 1
+      Printf.eprintf "compass: %s: %s\n" file msg;
+      exit 2
   in
   Cmd.v (Cmd.info "plan" ~doc:"Reload and re-estimate an archived plan")
     Term.(const run $ file_arg $ layers_arg)
+
+(* verify: independent re-check of an archived plan *)
+
+let verify_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Archived plan (written by compile --save).")
+  in
+  let run file =
+    match Plan_text.load file with
+    | plan ->
+      let violations = Verify.check plan in
+      print_endline (Verify.render violations);
+      if violations <> [] then exit 1
+    | exception Plan_text.Load_error msg ->
+      Printf.eprintf "compass: %s: %s\n" file msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Independently re-check an archived plan against every legality \
+          invariant (coverage, capacity, replication, dataflow, endurance).  \
+          Exit 0 when clean, 1 when violations are found, 2 when the file \
+          cannot be read.")
+    Term.(const run $ file_arg)
 
 (* validity *)
 
@@ -321,8 +424,8 @@ let model_cmd =
         Printf.printf "wrote %s\n" path
       | None -> ())
     | exception Compass_nn.Model_text.Parse_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" file line msg;
-      exit 1
+      Printf.eprintf "compass: %s:%d: %s\n" file line msg;
+      exit 2
   in
   Cmd.v (Cmd.info "model" ~doc:"Parse and summarize a textual model description")
     Term.(const run $ file_arg $ dot_arg)
@@ -335,15 +438,21 @@ let explore_cmd =
       value & opt (some float) None
       & info [ "target" ] ~docv:"INF/S" ~doc:"Find the smallest chip meeting this throughput.")
   in
-  let run model seed jobs quick target =
+  let run model seed jobs quick target deadline =
    guard @@ fun () ->
     let model = lookup_model model in
     let chips = List.map snd Compass_arch.Config.presets in
+    let budget = Option.map (fun s -> Compass_util.Budget.of_deadline s) deadline in
     let points =
-      Explore.sweep
+      Explore.sweep ?budget
         ~ga_params:(ga_params ~quick ~seed ~jobs)
         ~model ~chips ~batches:[ 1; 4; 16 ] ()
     in
+    (match budget with
+    | Some b when Compass_util.Budget.exhausted b ->
+      Printf.printf "deadline expired: %d point(s) compiled before the cutoff\n"
+        (List.length points)
+    | Some _ | None -> ());
     Compass_util.Table.print (Explore.points_table points);
     print_endline "\nPareto frontier:";
     Compass_util.Table.print (Explore.points_table (Explore.pareto points));
@@ -357,7 +466,9 @@ let explore_cmd =
       | None -> Printf.printf "\nno preset reaches %.0f inf/s\n" throughput_per_s)
   in
   Cmd.v (Cmd.info "explore" ~doc:"Sweep chips and batches; print the Pareto frontier")
-    Term.(const run $ model_arg $ seed_arg $ jobs_arg $ quick_arg $ target_arg)
+    Term.(
+      const run $ model_arg $ seed_arg $ jobs_arg $ quick_arg $ target_arg
+      $ deadline_arg)
 
 (* sweep *)
 
@@ -439,5 +550,5 @@ let () =
           (Cmd.info "compass" ~version:"1.0.0" ~doc)
           [
             info_cmd; compile_cmd; validity_cmd; sweep_cmd; gap_cmd; schedule_cmd;
-            model_cmd; explore_cmd; plan_cmd;
+            model_cmd; explore_cmd; plan_cmd; verify_cmd;
           ]))

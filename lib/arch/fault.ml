@@ -148,7 +148,10 @@ let parse spec =
 let spec_to_string s =
   let clauses = ref [] in
   (match s.spec_endurance with
-  | Some b -> clauses := Printf.sprintf "endurance:%g" b :: !clauses
+  (* Full precision, not %g: the spec must round-trip the exact budget or
+     a reloaded plan computes a different projected lifetime. *)
+  | Some b ->
+    clauses := ("endurance:" ^ Compass_util.Artifact.float_token b) :: !clauses
   | None -> ());
   if s.spec_random_degraded > 0 then
     clauses := Printf.sprintf "random:degraded=%d" s.spec_random_degraded :: !clauses;

@@ -32,6 +32,7 @@ type t = {
   ga : Ga.result option;
   dp : Optimal.result option;
   faults : Compass_arch.Fault.t option;
+  budget_exhausted : bool;
 }
 
 let options_for faults = { Estimator.default_options with Estimator.faults }
@@ -60,7 +61,8 @@ let prepare ?faults ~model ~chip () =
   }
 
 let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params)
-    ?jobs ?cache ?(warm_start = false) ~batch prepared scheme =
+    ?jobs ?cache ?(warm_start = false) ?budget ?resume ?on_checkpoint ~batch prepared
+    scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
   let ga_params =
     match jobs with Some j -> { ga_params with Ga.jobs = j } | None -> ga_params
@@ -68,7 +70,7 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
   let { p_model = model; p_chip = chip; p_units = units; p_ctx = ctx;
         p_validity = validity; p_faults = faults } = prepared in
   let options = options_for faults in
-  let run_dp () = Optimal.optimize ~objective ~options ?cache ctx validity ~batch in
+  let run_dp () = Optimal.optimize ~objective ~options ?cache ?budget ctx validity ~batch in
   let group, ga, dp =
     match scheme with
     | Greedy -> (Baselines.greedy validity, None, None)
@@ -83,7 +85,10 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
         | None -> ga_params
         | Some d -> { ga_params with Ga.warm_start = [ d.Optimal.group ] }
       in
-      let result = Ga.optimize ~params:ga_params ~objective ~options ?cache ctx validity ~batch in
+      let result =
+        Ga.optimize ~params:ga_params ~objective ~options ?cache ?budget ?resume
+          ?on_checkpoint ctx validity ~batch
+      in
       (result.Ga.best.Ga.group, Some result, dp)
   in
   let perf =
@@ -91,11 +96,18 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
     | None -> Estimator.evaluate ~options ctx ~batch group
     | Some cache -> Estimator.evaluate_cached ~cache ctx ~batch group
   in
-  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga; dp; faults }
+  let budget_exhausted =
+    (match ga with Some r -> r.Ga.budget_exhausted | None -> false)
+    || match dp with Some d -> d.Optimal.budget_exhausted | None -> false
+  in
+  { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga; dp;
+    faults; budget_exhausted }
 
-let compile ?objective ?ga_params ?jobs ?warm_start ?faults ~model ~chip ~batch scheme =
+let compile ?objective ?ga_params ?jobs ?warm_start ?faults ?budget ?resume
+    ?on_checkpoint ~model ~chip ~batch scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
-  compile_prepared ?objective ?ga_params ?jobs ?warm_start ~batch
+  compile_prepared ?objective ?ga_params ?jobs ?warm_start ?budget ?resume ?on_checkpoint
+    ~batch
     (prepare ?faults ~model ~chip ())
     scheme
 

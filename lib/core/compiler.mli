@@ -36,6 +36,10 @@ type t = {
           with [~warm_start:true]. *)
   faults : Compass_arch.Fault.t option;
       (** The fault scenario the plan was compiled (or repaired) under. *)
+  budget_exhausted : bool;
+      (** True iff a [?budget] expired during the search: the plan is the
+          best candidate found before the deadline (still a valid,
+          verifiable plan), not the full search's answer. *)
 }
 
 val compile :
@@ -44,6 +48,9 @@ val compile :
   ?jobs:int ->
   ?warm_start:bool ->
   ?faults:Compass_arch.Fault.t ->
+  ?budget:Compass_util.Budget.t ->
+  ?resume:Ga.checkpoint ->
+  ?on_checkpoint:(Ga.checkpoint -> unit) ->
   model:Compass_nn.Graph.t ->
   chip:Compass_arch.Config.chip ->
   batch:int ->
@@ -59,7 +66,14 @@ val compile :
     search, replication and mapping all use per-core effective capacities,
     so the plan routes around dead and degraded cores.  Raises
     [Invalid_argument] when the scenario leaves some unit with no core big
-    enough to host it. *)
+    enough to host it.
+
+    [?budget] makes the search phases (GA and DP) anytime: on expiry the
+    plan is the best candidate found so far, with [budget_exhausted] set
+    (see {!Ga.optimize} and {!Optimal.optimize} for the per-phase
+    semantics; the front end and final evaluation always complete).
+    [?resume] and [?on_checkpoint] thread GA checkpointing through the
+    [Compass] scheme and are ignored by the others. *)
 
 (** {1 Amortized front end}
 
@@ -84,6 +98,9 @@ val compile_prepared :
   ?jobs:int ->
   ?cache:Estimator.Span_cache.t ->
   ?warm_start:bool ->
+  ?budget:Compass_util.Budget.t ->
+  ?resume:Ga.checkpoint ->
+  ?on_checkpoint:(Ga.checkpoint -> unit) ->
   batch:int ->
   prepared ->
   scheme ->

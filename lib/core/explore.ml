@@ -8,30 +8,41 @@ type point = {
   capacity_mb : float;
 }
 
-let sweep ?objective ?ga_params ?jobs ~model ~chips ~batches () =
+let sweep ?objective ?ga_params ?jobs ?budget ~model ~chips ~batches () =
+  let expired () =
+    match budget with None -> false | Some b -> Compass_util.Budget.expired b
+  in
   List.concat_map
     (fun chip ->
       (* The front end (units, validity map, span table) depends only on
          the chip, so it is built once per chip and shared by every batch
-         point. *)
-      let prepared = Compiler.prepare ~model ~chip () in
-      List.map
-        (fun batch ->
-          let plan =
-            Compiler.compile_prepared ?objective ?ga_params ?jobs ~batch prepared
-              Compiler.Compass
-          in
-          {
-            chip;
-            batch;
-            plan;
-            throughput_per_s = plan.Compiler.perf.Estimator.throughput_per_s;
-            energy_per_sample_j = plan.Compiler.perf.Estimator.energy_per_sample_j;
-            edp_j_s = plan.Compiler.perf.Estimator.edp_j_s;
-            capacity_mb =
-              Compass_arch.Config.capacity_bytes chip /. Compass_util.Units.mib;
-          })
-        batches)
+         point.  Under an expired budget, remaining combinations are
+         skipped entirely — already-compiled points are kept, so the sweep
+         is anytime at point granularity (each point's GA is additionally
+         anytime on its own via the same budget). *)
+      if expired () then []
+      else
+        let prepared = Compiler.prepare ~model ~chip () in
+        List.filter_map
+          (fun batch ->
+            if expired () then None
+            else
+              let plan =
+                Compiler.compile_prepared ?objective ?ga_params ?jobs ?budget ~batch
+                  prepared Compiler.Compass
+              in
+              Some
+                {
+                  chip;
+                  batch;
+                  plan;
+                  throughput_per_s = plan.Compiler.perf.Estimator.throughput_per_s;
+                  energy_per_sample_j = plan.Compiler.perf.Estimator.energy_per_sample_j;
+                  edp_j_s = plan.Compiler.perf.Estimator.edp_j_s;
+                  capacity_mb =
+                    Compass_arch.Config.capacity_bytes chip /. Compass_util.Units.mib;
+                })
+          batches)
     chips
 
 let dominates a b =

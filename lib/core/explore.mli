@@ -20,6 +20,7 @@ val sweep :
   ?objective:Fitness.objective ->
   ?ga_params:Ga.params ->
   ?jobs:int ->
+  ?budget:Compass_util.Budget.t ->
   model:Compass_nn.Graph.t ->
   chips:Compass_arch.Config.chip list ->
   batches:int list ->
@@ -27,7 +28,11 @@ val sweep :
   point list
 (** Compile every (chip, batch) pair with the COMPASS scheme; order follows
     the cartesian product (chips major).  [?jobs] forwards to
-    {!Compiler.compile} (GA worker domains). *)
+    {!Compiler.compile} (GA worker domains).  [?budget] makes the sweep
+    anytime: once the token expires, remaining pairs are skipped (the
+    already-compiled points are returned, and the in-flight GA itself cuts
+    short, flagging its plan [budget_exhausted]).  Query
+    {!Compass_util.Budget.exhausted} to learn whether the sweep was cut. *)
 
 val pareto : point list -> point list
 (** Points not dominated under (maximize throughput, minimize energy per

@@ -77,6 +77,20 @@ type result = {
   generations_run : int;
   evaluations : int;
   cache_spans : int;
+  budget_exhausted : bool;
+}
+
+type checkpoint = {
+  ck_params : params;
+  ck_objective : Fitness.objective;
+  ck_batch : int;
+  ck_generation : int;
+  ck_rng_state : int64;
+  ck_best_seen : float;
+  ck_stall : int;
+  ck_evaluations : int;
+  ck_population : Partition.t array;
+  ck_history : generation_record list;
 }
 
 (* The random-cover walk (and its bias policy) lives in [Validity]; both
@@ -164,7 +178,29 @@ let mutate scheme rng validity ~scores group =
   | Fixed_random -> mutate_fixed_random rng validity scores group
 
 let optimize ?(params = default_params) ?(objective = Fitness.Latency)
-    ?(options = Estimator.default_options) ?cache ctx validity ~batch =
+    ?(options = Estimator.default_options) ?cache ?budget ?resume ?on_checkpoint ctx
+    validity ~batch =
+  (* A checkpoint freezes the search configuration along with its state:
+     resuming re-applies the stored params/objective (only [jobs] follows
+     the caller, since it cannot affect the trajectory). *)
+  let params, objective =
+    match resume with
+    | None -> (params, objective)
+    | Some ck ->
+      if ck.ck_batch <> batch then
+        invalid_arg
+          (Printf.sprintf "Ga.optimize: checkpoint taken at batch %d, resumed with %d"
+             ck.ck_batch batch);
+      if
+        not
+          (Array.for_all (Validity.group_valid validity) ck.ck_population)
+        || Array.length ck.ck_population = 0
+      then
+        invalid_arg
+          "Ga.optimize: checkpoint population invalid for this validity map (different \
+           model, chip or fault scenario?)";
+      ({ ck.ck_params with jobs = params.jobs }, ck.ck_objective)
+  in
   if params.population < 2 then invalid_arg "Ga.optimize: population < 2";
   if params.n_sel < 1 || params.n_sel > params.population then
     invalid_arg "Ga.optimize: bad n_sel";
@@ -174,7 +210,11 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
     invalid_arg "Ga.optimize: crossover_rate out of range";
   if params.jobs < 1 then invalid_arg "Ga.optimize: jobs < 1";
   let scheme_array = Array.of_list params.schemes in
-  let rng = Rng.create params.seed in
+  let rng =
+    match resume with
+    | None -> Rng.create params.seed
+    | Some ck -> Rng.of_state ck.ck_rng_state
+  in
   let shared =
     match cache with
     | None -> Estimator.Span_cache.create ~options ~batch ()
@@ -192,7 +232,9 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
         invalid_arg "Ga.optimize: cache options mismatch";
       c
   in
-  let evaluations = ref 0 in
+  let evaluations = ref (match resume with None -> 0 | Some ck -> ck.ck_evaluations) in
+  let interrupted = ref false in
+  let expired () = match budget with None -> false | Some b -> Budget.expired b in
   Pool.with_pool ~jobs:params.jobs @@ fun pool ->
   (* Candidate groups are proposed on the main domain (every RNG draw stays
      on the main stream or on a per-candidate [Rng.split] of it, so the
@@ -213,28 +255,97 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
       (fun group perf -> { group; perf; fitness = Fitness.group_fitness objective perf })
       groups perfs
   in
+  (* Budget-aware evaluation: the deadline is polled before every wave of
+     [jobs] candidates (a single candidate at [jobs = 1]), so an expired
+     budget overruns by at most one wave.  Evaluation is pure, so chunking
+     changes nothing about the results; a budget-free run takes the
+     unchunked path below and stays byte-for-byte on the historical code
+     path. *)
+  let evaluate_partial groups =
+    match budget with
+    | None -> evaluate_batch groups
+    | Some _ ->
+      let n = Array.length groups in
+      let parts = ref [] in
+      let i = ref 0 in
+      while !i < n && not (expired ()) do
+        let k = min params.jobs (n - !i) in
+        parts := evaluate_batch (Array.sub groups !i k) :: !parts;
+        i := !i + k
+      done;
+      if !i < n then interrupted := true;
+      Array.concat (List.rev !parts)
+  in
   let total_units = Validity.size validity in
   (* Warm-start seeds (e.g. the DP optimum) occupy the first population
      slots; the rest draw randomly exactly as before.  With no seeds the
      per-index [Rng.split] sequence is untouched, so the run stays
      bit-identical to the unseeded search. *)
-  let seeds =
-    Array.of_list (List.filter (Validity.group_valid validity) params.warm_start)
+  let initial_groups =
+    match resume with
+    | Some ck -> Array.copy ck.ck_population
+    | None ->
+      let seeds =
+        Array.of_list (List.filter (Validity.group_valid validity) params.warm_start)
+      in
+      let nseeds = min (Array.length seeds) params.population in
+      Array.init params.population (fun i ->
+          if i < nseeds then seeds.(i) else random_group (Rng.split rng) validity)
   in
-  let nseeds = min (Array.length seeds) params.population in
+  (* Resumed populations are re-evaluated rather than deserialized with
+     their fitness: evaluation is pure, so the trajectory is bit-identical
+     either way, and the checkpoint stays a plain text artifact.  (The
+     [evaluations] counter therefore includes the re-evaluation cost.)
+     Under an already-expired budget, one candidate is still evaluated so
+     the result always carries a best-so-far plan. *)
   let population =
     ref
-      (evaluate_batch
-         (Array.init params.population (fun i ->
-              if i < nseeds then seeds.(i) else random_group (Rng.split rng) validity)))
+      (let inds = evaluate_partial initial_groups in
+       if Array.length inds = 0 then evaluate_batch (Array.sub initial_groups 0 1)
+       else inds)
   in
   let by_fitness arr = Array.sort (fun a b -> compare a.fitness b.fitness) arr in
-  let history = ref [] in
-  let best_seen = ref infinity in
-  let stall = ref 0 in
-  let generations_run = ref 0 in
+  let history =
+    ref (match resume with None -> [] | Some ck -> List.rev ck.ck_history)
+  in
+  let best_seen =
+    ref (match resume with None -> infinity | Some ck -> ck.ck_best_seen)
+  in
+  let stall = ref (match resume with None -> 0 | Some ck -> ck.ck_stall) in
+  let start_gen = match resume with None -> 0 | Some ck -> ck.ck_generation in
+  let generations_run = ref start_gen in
+  let emit_checkpoint next_gen =
+    match on_checkpoint with
+    | None -> ()
+    | Some f ->
+      f
+        {
+          ck_params = params;
+          ck_objective = objective;
+          ck_batch = batch;
+          ck_generation = next_gen;
+          ck_rng_state = Rng.state rng;
+          ck_best_seen = !best_seen;
+          ck_stall = !stall;
+          ck_evaluations = !evaluations;
+          ck_population = Array.map (fun i -> i.group) !population;
+          ck_history = List.rev !history;
+        }
+  in
+  if not !interrupted then emit_checkpoint start_gen;
   (try
-     for g = 0 to params.generations - 1 do
+     (* A checkpoint can carry an already-exhausted patience counter (it
+        was emitted just before the original run early-stopped); honour it
+        before running any further generation, or a resume would overshoot
+        the uninterrupted run. *)
+     if params.early_stop_patience > 0 && !stall >= params.early_stop_patience then
+       raise Exit;
+     for g = start_gen to params.generations - 1 do
+       if !interrupted then raise Exit;
+       if expired () then begin
+         interrupted := true;
+         raise Exit
+       end;
        generations_run := g + 1;
        by_fitness !population;
        let pop = !population in
@@ -280,7 +391,7 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
          else propose_mutation crng (Rng.pick_array crng selected)
        in
        let candidates = Array.init params.n_mut (fun _ -> propose_offspring ()) in
-       let mutants = evaluate_batch candidates in
+       let mutants = evaluate_partial candidates in
        let best_now = pop.(0).fitness in
        history :=
          {
@@ -296,6 +407,12 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
        end
        else incr stall;
        population := Array.append selected mutants;
+       (* A generation cut short mid-evaluation is not a resumable state
+          (its offspring wave is incomplete), so no checkpoint is taken
+          for it — the last emitted checkpoint replays the full
+          generation instead. *)
+       if !interrupted then raise Exit;
+       emit_checkpoint (g + 1);
        if params.early_stop_patience > 0 && !stall >= params.early_stop_patience then
          raise Exit
      done
@@ -307,4 +424,5 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
     generations_run = !generations_run;
     evaluations = !evaluations;
     cache_spans = Estimator.Span_cache.length shared;
+    budget_exhausted = !interrupted;
   }

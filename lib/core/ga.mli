@@ -84,7 +84,35 @@ type result = {
   generations_run : int;
   evaluations : int;  (** Number of group evaluations performed. *)
   cache_spans : int;  (** Distinct spans evaluated (cache size). *)
+  budget_exhausted : bool;
+      (** True iff a {!Compass_util.Budget} expired and cut the search
+          short; [best] is then the best candidate evaluated before the
+          deadline rather than the full search's answer. *)
 }
+
+type checkpoint = {
+  ck_params : params;
+      (** The run's search configuration; re-applied on resume (only
+          [jobs] follows the resuming caller — it cannot affect the
+          trajectory). *)
+  ck_objective : Fitness.objective;
+  ck_batch : int;
+  ck_generation : int;  (** Next generation index to run. *)
+  ck_rng_state : int64;  (** Raw main-stream RNG state ({!Compass_util.Rng.state}). *)
+  ck_best_seen : float;  (** Early-stopping incumbent. *)
+  ck_stall : int;  (** Generations since the incumbent improved. *)
+  ck_evaluations : int;
+  ck_population : Partition.t array;
+      (** The exact post-selection population, in its in-memory order —
+          selection re-sorts it on resume precisely as the uninterrupted
+          run would. *)
+  ck_history : generation_record list;  (** Oldest first. *)
+}
+(** A complete, resumable snapshot of the search at a generation
+    boundary.  Resuming from it replays the remaining generations
+    bit-identically to the uninterrupted run: the RNG continues its
+    stream, and the population is re-evaluated (evaluation is pure, so
+    only the [evaluations] counter shows the resume happened). *)
 
 val mutate :
   mutation_scheme ->
@@ -105,6 +133,9 @@ val optimize :
   ?objective:Fitness.objective ->
   ?options:Estimator.model_options ->
   ?cache:Estimator.Span_cache.t ->
+  ?budget:Compass_util.Budget.t ->
+  ?resume:checkpoint ->
+  ?on_checkpoint:(checkpoint -> unit) ->
   Dataflow.ctx ->
   Validity.t ->
   batch:int ->
@@ -115,6 +146,24 @@ val optimize :
     seed.  [?cache] supplies the run-wide span cache (extended in place):
     pre-populated entries are pure functions of their keys, so a warm cache
     only speeds the run up — the trajectory is unchanged, though the
-    reported [cache_spans] then counts the warm entries too.  Raises
-    [Invalid_argument] on inconsistent parameters (e.g.
+    reported [cache_spans] then counts the warm entries too.
+
+    [?budget] makes the search {e anytime}: the deadline is polled before
+    every evaluation wave ([jobs] candidates; a single one at [jobs = 1]),
+    so expiry overruns by at most one wave, and the result carries the
+    best candidate evaluated so far with [budget_exhausted] set.  At least
+    one candidate is always evaluated, even under an already-expired
+    budget.  A budget generous enough to never expire leaves the run
+    bit-identical to an unbudgeted one.
+
+    [?on_checkpoint] is called with a resumable snapshot after the initial
+    evaluation and after every {e completed} generation (never for a
+    generation the budget cut short).  [?resume] continues a snapshot:
+    stored params and objective are re-applied (only [jobs] follows the
+    caller) and the remaining generations replay bit-identically to the
+    uninterrupted run.  Raises [Invalid_argument] when the checkpoint's
+    batch differs from [batch] or its population is invalid for
+    [validity] (wrong model, chip or fault scenario).
+
+    Raises [Invalid_argument] on inconsistent parameters (e.g.
     [n_sel > population], [jobs < 1], or a cache brand mismatch). *)

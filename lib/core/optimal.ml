@@ -12,8 +12,13 @@ type result = {
   value : float;
   lower_bound : float;
   exact : bool;
+  budget_exhausted : bool;
   stats : stats;
 }
+
+(* Raised inside the span sweep when the budget expires; caught by
+   [optimize], which falls back to the greedy anytime incumbent. *)
+exception Expired
 
 let objective_value objective (perf : Estimator.perf) =
   match objective with
@@ -113,7 +118,7 @@ let count_valid_spans validity ~m =
   !n
 
 let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_options)
-    ?cache ctx validity ~batch =
+    ?cache ?budget ctx validity ~batch =
   if batch < 1 then invalid_arg "Optimal.optimize: batch < 1";
   let m = Validity.size validity in
   if m <> Unit_gen.unit_count (Dataflow.units ctx) then
@@ -131,12 +136,21 @@ let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_option
       c
   in
   let spans_before = Estimator.Span_cache.length cache in
-  let perf_of a b = Estimator.span_perf_cached ~cache ctx ~start_:a ~stop:b in
+  let check_budget () =
+    match budget with
+    | Some b when Compass_util.Budget.expired b -> raise Expired
+    | Some _ | None -> ()
+  in
+  let perf_of a b =
+    check_budget ();
+    Estimator.span_perf_cached ~cache ctx ~start_:a ~stop:b
+  in
   let chip = (Dataflow.units ctx).Unit_gen.chip in
   let static_power_w = chip.Compass_arch.Config.chip_power_w in
   let write_overlap = options.Estimator.write_overlap in
   let dp extend = run_dp ~m ~validity ~perf_of ~extend in
-  let finish ~edges ~group_evaluations ~value ~lower_bound ~exact group perf =
+  let finish ?(budget_exhausted = false) ~edges ~group_evaluations ~value ~lower_bound
+      ~exact group perf =
     {
       objective;
       group;
@@ -144,6 +158,7 @@ let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_option
       value;
       lower_bound;
       exact;
+      budget_exhausted;
       stats =
         {
           valid_spans = count_valid_spans validity ~m;
@@ -153,7 +168,8 @@ let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_option
         };
     }
   in
-  match objective with
+  try
+    match objective with
   | Fitness.Latency ->
     let value, group, edges = dp (extend_latency ~write_overlap) in
     let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
@@ -191,6 +207,17 @@ let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_option
       ~value ~lower_bound
       ~exact:(value <= lower_bound *. (1. +. 1e-9))
       group perf
+  with Expired ->
+    (* Anytime fallback.  No chain reaches the final position until the
+       last DP row completes, so a cut-short sweep has no partial optimum
+       to return; the greedy maximal-step cover is the best-so-far
+       incumbent instead — always valid, never certified.  The trivial
+       bound 0 keeps [lower_bound]'s contract ([value >= lower_bound])
+       without claiming anything. *)
+    let group = Baselines.greedy validity in
+    let perf = Estimator.evaluate_cached ~cache ctx ~batch group in
+    finish ~budget_exhausted:true ~edges:0 ~group_evaluations:1
+      ~value:(objective_value objective perf) ~lower_bound:0. ~exact:false group perf
 
 let pp ppf r =
   Format.fprintf ppf

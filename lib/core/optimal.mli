@@ -46,6 +46,10 @@ type result = {
       (** Whether [value] is provably minimal ([Latency], [Energy], [Wear];
           up to floating-point rounding for [Energy]).  For [Edp] only when
           the incumbent happens to meet the bound. *)
+  budget_exhausted : bool;
+      (** True iff a {!Compass_util.Budget} expired mid-sweep; [group] is
+          then the greedy anytime incumbent, [exact] is false and
+          [lower_bound] degrades to the trivial 0. *)
   stats : stats;
 }
 
@@ -60,6 +64,7 @@ val optimize :
   ?objective:Fitness.objective ->
   ?options:Estimator.model_options ->
   ?cache:Estimator.Span_cache.t ->
+  ?budget:Compass_util.Budget.t ->
   Dataflow.ctx ->
   Validity.t ->
   batch:int ->
@@ -68,6 +73,11 @@ val optimize :
     extended); its brand must match [batch] and [options] or
     [Invalid_argument] is raised.  Also raises on [batch < 1] or when the
     validity map does not match [ctx]'s decomposition.  Deterministic: ties
-    keep the first (smallest-position) chain found. *)
+    keep the first (smallest-position) chain found.
+
+    [?budget] bounds the sweep: the deadline is polled before every span
+    evaluation, and on expiry the result degrades to the greedy anytime
+    incumbent with [budget_exhausted] set (see {!type-result}) instead of
+    raising or overrunning. *)
 
 val pp : Format.formatter -> result -> unit

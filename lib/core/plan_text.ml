@@ -2,6 +2,11 @@ exception Load_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Load_error msg)) fmt
 
+let fail_at line fmt =
+  Printf.ksprintf (fun msg -> raise (Load_error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let float_token = Compass_util.Artifact.float_token
+
 let is_zoo_model name = List.mem name Compass_nn.Models.all_names
 
 let to_string (plan : Compiler.t) =
@@ -32,96 +37,106 @@ let to_string (plan : Compiler.t) =
   end;
   Buffer.contents buf
 
-let save path plan =
-  let oc = open_out path in
-  output_string oc (to_string plan);
-  close_out oc
+let save path plan = Compass_util.Artifact.write_atomic path (to_string plan)
 
 let of_string text =
-  (* Header lines until an optional model-text marker. *)
+  (* Header lines until an optional model-text marker; every field keeps
+     its 1-based source line for diagnostics. *)
   let lines = String.split_on_char '\n' text in
-  let fields = Hashtbl.create 8 in
-  let rec scan = function
+  let fields : (string, int * string) Hashtbl.t = Hashtbl.create 8 in
+  let rec scan lineno = function
     | [] -> None
     | line :: rest -> (
       match String.index_opt line ' ' with
-      | _ when String.trim line = "" -> scan rest
-      | _ when String.trim line = "model-text" -> Some (String.concat "\n" rest)
+      | _ when String.trim line = "" -> scan (lineno + 1) rest
+      | _ when String.trim line = "model-text" -> Some (lineno + 1, String.concat "\n" rest)
       | Some i ->
         Hashtbl.replace fields (String.sub line 0 i)
-          (String.sub line (i + 1) (String.length line - i - 1));
-        scan rest
-      | None -> fail "malformed line %S" line)
+          (lineno, String.sub line (i + 1) (String.length line - i - 1));
+        scan (lineno + 1) rest
+      | None -> fail_at lineno "malformed line %S (expected \"key value\")" line)
   in
-  let inline_model = scan lines in
+  let inline_model = scan 1 lines in
   let get key =
     match Hashtbl.find_opt fields key with
-    | Some v -> String.trim v
+    | Some (line, v) -> (line, String.trim v)
     | None -> fail "missing field %s" key
   in
-  if Hashtbl.find_opt fields "compass-plan" <> Some "1" then
-    fail "not a compass-plan version 1 file";
-  let model_name = get "model" in
+  (match Hashtbl.find_opt fields "compass-plan" with
+  | None -> fail "not a compass-plan file (missing \"compass-plan 1\" header)"
+  | Some (line, v) when String.trim v <> "1" ->
+    fail_at line "unsupported compass-plan version %S (this build reads version 1)"
+      (String.trim v)
+  | Some _ -> ());
+  let _, model_name = get "model" in
   let model =
     match inline_model with
-    | Some text -> (
+    | Some (first_line, text) -> (
       try Compass_nn.Model_text.parse text
       with Compass_nn.Model_text.Parse_error (line, msg) ->
-        fail "inline model, line %d: %s" line msg)
+        fail_at (first_line + line - 1) "inline model (its line %d): %s" line msg)
     | None -> (
       try Compass_nn.Models.by_name model_name
-      with Not_found -> fail "unknown zoo model %s" model_name)
+      with Not_found ->
+        let line, _ = get "model" in
+        fail_at line "unknown zoo model %s" model_name)
   in
   let chip =
-    try Compass_arch.Config.by_label (get "chip")
-    with Not_found -> fail "unknown chip %s" (get "chip")
+    let line, label = get "chip" in
+    try Compass_arch.Config.by_label label
+    with Not_found -> fail_at line "unknown chip %s" label
   in
   let batch =
-    match int_of_string_opt (get "batch") with
+    let line, v = get "batch" in
+    match int_of_string_opt v with
     | Some b when b >= 1 -> b
-    | _ -> fail "bad batch %S" (get "batch")
+    | _ -> fail_at line "bad batch %S" v
   in
   let objective =
-    try Fitness.objective_of_string (get "objective")
-    with Invalid_argument _ -> fail "bad objective %S" (get "objective")
+    let line, v = get "objective" in
+    try Fitness.objective_of_string v
+    with Invalid_argument _ -> fail_at line "bad objective %S" v
   in
   let scheme =
-    try Compiler.scheme_of_string (get "scheme")
-    with Invalid_argument _ -> fail "bad scheme %S" (get "scheme")
+    let line, v = get "scheme" in
+    try Compiler.scheme_of_string v
+    with Invalid_argument _ -> fail_at line "bad scheme %S" v
   in
-  let cuts =
-    let words = String.split_on_char ' ' (get "cuts") |> List.filter (fun w -> w <> "") in
+  let cuts_line, cuts =
+    let line, v = get "cuts" in
+    let words = String.split_on_char ' ' v |> List.filter (fun w -> w <> "") in
     match List.map int_of_string_opt words with
     | ints when List.for_all Option.is_some ints && ints <> [] ->
-      Array.of_list (List.map Option.get ints)
-    | _ -> fail "bad cuts %S" (get "cuts")
+      (line, Array.of_list (List.map Option.get ints))
+    | _ -> fail_at line "bad cuts %S" v
   in
   let faults =
     match Hashtbl.find_opt fields "faults" with
     | None -> None
-    | Some spec -> (
+    | Some (line, spec) -> (
       try
         let f =
           Compass_arch.Fault.of_string (String.trim spec) ~seed:0 ~cores:chip.Compass_arch.Config.cores
             ~macros_per_core:chip.Compass_arch.Config.core.Compass_arch.Config.macros_per_core
         in
         if Compass_arch.Fault.is_trivial f then None else Some f
-      with Invalid_argument msg -> fail "bad faults %S: %s" (String.trim spec) msg)
+      with Invalid_argument msg -> fail_at line "bad faults %S: %s" (String.trim spec) msg)
   in
   let units = Unit_gen.generate model chip in
   let group =
     try Partition.of_cuts cuts
-    with Invalid_argument msg -> fail "invalid cuts: %s" msg
+    with Invalid_argument msg -> fail_at cuts_line "invalid cuts: %s" msg
   in
   if Partition.total_units group <> Unit_gen.unit_count units then
-    fail "cuts cover %d units but the decomposition has %d (different hardware?)"
+    fail_at cuts_line "cuts cover %d units but the decomposition has %d (different hardware?)"
       (Partition.total_units group) (Unit_gen.unit_count units);
   let validity =
     try Validity.build ?faults units
     with Invalid_argument msg -> fail "fault scenario rejects the model: %s" msg
   in
   if not (Validity.group_valid validity group) then
-    fail "stored partitioning is not valid for chip %s%s" chip.Compass_arch.Config.label
+    fail_at cuts_line "stored partitioning is not valid for chip %s%s"
+      chip.Compass_arch.Config.label
       (if faults = None then "" else " under the stored fault scenario");
   let ctx = Dataflow.context units in
   let options = { Estimator.default_options with Estimator.faults } in
@@ -140,11 +155,219 @@ let of_string text =
     ga = None;
     dp = None;
     faults;
+    budget_exhausted = false;
   }
 
-let load path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string text
+let load path = of_string (Compass_util.Artifact.read_file path)
+
+(* {1 GA checkpoints}
+
+   A checkpoint is a strictly ordered sequence of "key value" lines (the
+   writer below is the format's specification); loads locate every
+   complaint.  Order sensitivity is fine for a machine-written artifact
+   and keeps truncation diagnostics precise: the first missing line names
+   exactly what the file lost. *)
+
+let scheme_of_name line = function
+  | "merge" -> Ga.Merge
+  | "split" -> Ga.Split
+  | "move" -> Ga.Move
+  | "fixed_random" -> Ga.Fixed_random
+  | other -> fail_at line "unknown mutation scheme %S" other
+
+let cuts_token group =
+  String.concat " " (List.map string_of_int (Array.to_list (Partition.cuts group)))
+
+(* (fitness, partition-count) pair lists of a generation record. *)
+let pairs_token = function
+  | [] -> "-"
+  | pairs ->
+    String.concat ","
+      (List.map (fun (f, p) -> Printf.sprintf "%s:%d" (float_token f) p) pairs)
+
+let parse_pairs line = function
+  | "-" -> []
+  | s ->
+    List.map
+      (fun tok ->
+        match String.rindex_opt tok ':' with
+        | None -> fail_at line "bad fitness:partitions pair %S" tok
+        | Some i -> (
+          let f = String.sub tok 0 i in
+          let p = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match (float_of_string_opt f, int_of_string_opt p) with
+          | Some f, Some p -> (f, p)
+          | _ -> fail_at line "bad fitness:partitions pair %S" tok))
+      (String.split_on_char ',' s)
+
+let checkpoint_to_string (ck : Ga.checkpoint) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let p = ck.Ga.ck_params in
+  add "compass-ga-checkpoint 1";
+  add "objective %s" (Fitness.objective_to_string ck.Ga.ck_objective);
+  add "batch %d" ck.Ga.ck_batch;
+  add "generation %d" ck.Ga.ck_generation;
+  add "rng-state %Ld" ck.Ga.ck_rng_state;
+  add "best-seen %s" (float_token ck.Ga.ck_best_seen);
+  add "stall %d" ck.Ga.ck_stall;
+  add "evaluations %d" ck.Ga.ck_evaluations;
+  add "population %d" p.Ga.population;
+  add "generations %d" p.Ga.generations;
+  add "n-sel %d" p.Ga.n_sel;
+  add "n-mut %d" p.Ga.n_mut;
+  add "early-stop-patience %d" p.Ga.early_stop_patience;
+  add "mutation-retries %d" p.Ga.mutation_retries;
+  add "schemes %s" (String.concat "," (List.map Ga.scheme_name p.Ga.schemes));
+  add "crossover-rate %s" (float_token p.Ga.crossover_rate);
+  add "seed %d" p.Ga.seed;
+  add "jobs %d" p.Ga.jobs;
+  add "warm-start %d" (List.length p.Ga.warm_start);
+  List.iter (fun g -> add "cuts %s" (cuts_token g)) p.Ga.warm_start;
+  add "individuals %d" (Array.length ck.Ga.ck_population);
+  Array.iter (fun g -> add "cuts %s" (cuts_token g)) ck.Ga.ck_population;
+  add "records %d" (List.length ck.Ga.ck_history);
+  List.iter
+    (fun (r : Ga.generation_record) ->
+      add "record %d %s %s %s" r.Ga.generation (float_token r.Ga.best_fitness)
+        (pairs_token r.Ga.selected) (pairs_token r.Ga.mutated))
+    ck.Ga.ck_history;
+  Buffer.contents buf
+
+let checkpoint_of_string text =
+  (* Non-empty lines with their 1-based positions, consumed in order. *)
+  let lines =
+    List.filteri
+      (fun _ (_, l) -> String.trim l <> "")
+      (List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text))
+  in
+  let cursor = ref lines in
+  let next key =
+    match !cursor with
+    | [] -> fail "truncated checkpoint: missing field %s" key
+    | (line, l) :: rest -> (
+      cursor := rest;
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = key ->
+        (line, String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+      | _ -> fail_at line "expected field %s, found %S" key l)
+  in
+  let int_field key =
+    let line, v = next key in
+    match int_of_string_opt v with
+    | Some n -> (line, n)
+    | None -> fail_at line "bad %s %S (expected an integer)" key v
+  in
+  let float_field key =
+    let line, v = next key in
+    match float_of_string_opt v with
+    | Some f -> (line, f)
+    | None -> fail_at line "bad %s %S (expected a float)" key v
+  in
+  let cuts_field () =
+    let line, v = next "cuts" in
+    let words = String.split_on_char ' ' v |> List.filter (fun w -> w <> "") in
+    match List.map int_of_string_opt words with
+    | ints when List.for_all Option.is_some ints && ints <> [] -> (
+      let cuts = Array.of_list (List.map Option.get ints) in
+      try Partition.of_cuts cuts
+      with Invalid_argument msg -> fail_at line "invalid cuts: %s" msg)
+    | _ -> fail_at line "bad cuts %S" v
+  in
+  (match !cursor with
+  | [] -> fail "not a compass-ga-checkpoint file (empty)"
+  | (line, l) :: _ -> (
+    match String.index_opt l ' ' with
+    | Some i when String.sub l 0 i = "compass-ga-checkpoint" ->
+      let v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+      if v <> "1" then
+        fail_at line
+          "unsupported compass-ga-checkpoint version %S (this build reads version 1)" v
+      else cursor := List.tl !cursor
+    | _ -> fail_at line "not a compass-ga-checkpoint file (missing header)"));
+  let obj_line, obj = next "objective" in
+  let ck_objective =
+    try Fitness.objective_of_string obj
+    with Invalid_argument _ -> fail_at obj_line "bad objective %S" obj
+  in
+  let _, ck_batch = int_field "batch" in
+  let _, ck_generation = int_field "generation" in
+  let ck_rng_state =
+    let line, v = next "rng-state" in
+    match Int64.of_string_opt v with
+    | Some s -> s
+    | None -> fail_at line "bad rng-state %S (expected a 64-bit integer)" v
+  in
+  let _, ck_best_seen = float_field "best-seen" in
+  let _, ck_stall = int_field "stall" in
+  let _, ck_evaluations = int_field "evaluations" in
+  let _, population = int_field "population" in
+  let _, generations = int_field "generations" in
+  let _, n_sel = int_field "n-sel" in
+  let _, n_mut = int_field "n-mut" in
+  let _, early_stop_patience = int_field "early-stop-patience" in
+  let _, mutation_retries = int_field "mutation-retries" in
+  let schemes =
+    let line, v = next "schemes" in
+    match String.split_on_char ',' v |> List.filter (fun s -> s <> "") with
+    | [] -> fail_at line "no mutation schemes listed"
+    | names -> List.map (scheme_of_name line) names
+  in
+  let _, crossover_rate = float_field "crossover-rate" in
+  let _, seed = int_field "seed" in
+  let _, jobs = int_field "jobs" in
+  let _, nwarm = int_field "warm-start" in
+  let warm_start = List.init nwarm (fun _ -> cuts_field ()) in
+  let _, nind = int_field "individuals" in
+  if nind < 1 then fail "checkpoint has no population";
+  let ck_population = Array.init nind (fun _ -> cuts_field ()) in
+  let _, nrec = int_field "records" in
+  let ck_history =
+    List.init nrec (fun _ ->
+        let line, v = next "record" in
+        match String.split_on_char ' ' v |> List.filter (fun s -> s <> "") with
+        | [ gen; best; sel; mut ] -> (
+          match (int_of_string_opt gen, float_of_string_opt best) with
+          | Some generation, Some best_fitness ->
+            {
+              Ga.generation;
+              best_fitness;
+              selected = parse_pairs line sel;
+              mutated = parse_pairs line mut;
+            }
+          | _ -> fail_at line "bad record %S" v)
+        | _ -> fail_at line "bad record %S (expected gen best selected mutated)" v)
+  in
+  (match !cursor with
+  | [] -> ()
+  | (line, l) :: _ -> fail_at line "trailing content %S after the checkpoint" l);
+  {
+    Ga.ck_params =
+      {
+        Ga.population;
+        generations;
+        n_sel;
+        n_mut;
+        early_stop_patience;
+        mutation_retries;
+        schemes;
+        crossover_rate;
+        seed;
+        jobs;
+        warm_start;
+      };
+    ck_objective;
+    ck_batch;
+    ck_generation;
+    ck_rng_state;
+    ck_best_seen;
+    ck_stall;
+    ck_evaluations;
+    ck_population;
+    ck_history;
+  }
+
+let save_checkpoint path ck =
+  Compass_util.Artifact.write_atomic path (checkpoint_to_string ck)
+
+let load_checkpoint path = checkpoint_of_string (Compass_util.Artifact.read_file path)

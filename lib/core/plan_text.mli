@@ -1,4 +1,4 @@
-(** Plan serialization.
+(** Plan and checkpoint serialization.
 
     A compiled plan is fully determined by (model, chip, batch, objective,
     scheme, partition cuts): everything else — replication, mapping,
@@ -17,20 +17,58 @@
     v}
 
     The model is referenced by zoo name; plans for custom graphs embed the
-    model inline after a [model-text] marker using [Model_text]. *)
+    model inline after a [model-text] marker using [Model_text].
+
+    All [save]* functions are crash-safe: the bytes go to a temporary file
+    in the destination directory which is atomically renamed over the
+    target, so a crash mid-write never leaves a truncated artifact — the
+    old file (or no file) survives intact.  All loads produce located
+    {!Load_error} diagnostics ("line N: ...") instead of escaping
+    [Failure]/[Scanf] exceptions, including for truncated files and
+    version-header mismatches. *)
 
 val to_string : Compiler.t -> string
 
 val save : string -> Compiler.t -> unit
-(** [save path plan] writes [to_string plan]. *)
+(** [save path plan] writes [to_string plan] atomically (temp file +
+    rename).  Raises [Sys_error] on I/O failure; the destination is never
+    left half-written. *)
 
 exception Load_error of string
+(** Carries a one-line human-readable diagnostic, prefixed with
+    ["line N: "] when the offending line is known. *)
 
 val of_string : string -> Compiler.t
 (** Rebuild the plan: re-derives units, validity, dataflow and estimates
     for the stored cuts.  Raises [Load_error] on malformed input, unknown
-    model/chip names, or cuts that do not match the decomposition
-    (e.g. the file was produced for different hardware). *)
+    model/chip names, version-header mismatches, or cuts that do not match
+    the decomposition (e.g. the file was produced for different hardware).
+    The rebuilt plan has [ga = None], [dp = None] and
+    [budget_exhausted = false] — search provenance is not archived. *)
 
 val load : string -> Compiler.t
-(** [load path] reads and parses a file. *)
+(** [load path] reads and parses a file.  Raises [Load_error] as
+    {!of_string}, or [Sys_error] if the file cannot be read. *)
+
+(** {1 GA checkpoints}
+
+    {!Ga.checkpoint} values serialize to a strictly line-ordered text
+    format with a ["compass-ga-checkpoint 1"] header.  Floats are written
+    in full precision (shortest round-tripping decimal, hex-float
+    fallback), so a saved-and-reloaded checkpoint resumes bit-identically
+    (the {!Ga.optimize} resume contract).  The format is documented in
+    [docs/FORMATS.md]. *)
+
+val checkpoint_to_string : Ga.checkpoint -> string
+
+val checkpoint_of_string : string -> Ga.checkpoint
+(** Raises {!Load_error} with a located diagnostic on truncated, corrupt
+    or version-mismatched input.  Note the checkpoint's partitions are not
+    validated against any model here — {!Ga.optimize} re-validates them
+    against its validity map on resume. *)
+
+val save_checkpoint : string -> Ga.checkpoint -> unit
+(** Atomic, like {!save}. *)
+
+val load_checkpoint : string -> Ga.checkpoint
+(** Raises {!Load_error} as {!checkpoint_of_string}, or [Sys_error]. *)

@@ -2,6 +2,27 @@ exception Parse_error of int * string
 
 let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
 
+(* 1-based column of [token]'s first occurrence in the source line; 0 when
+   the token was synthesized and does not literally appear. *)
+let column_of text token =
+  let tlen = String.length token and len = String.length text in
+  let rec scan i =
+    if tlen = 0 || i + tlen > len then 0
+    else if String.sub text i tlen = token then i + 1
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Located diagnostic naming the offending token, with its column when it
+   can be found in the source line. *)
+let fail_tok line src token fmt =
+  Printf.ksprintf
+    (fun msg ->
+      match column_of src token with
+      | 0 -> raise (Parse_error (line, msg))
+      | col -> raise (Parse_error (line, Printf.sprintf "column %d: %s" col msg)))
+    fmt
+
 (* --- lexical helpers --- *)
 
 let split_words s =
@@ -13,48 +34,53 @@ let strip_comment s =
   | None -> s
 
 (* "key=value" attribute lists. *)
-let parse_attrs line words =
+let parse_attrs line src words =
   List.map
     (fun w ->
       match String.index_opt w '=' with
       | Some i ->
         (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
-      | None -> fail line "expected key=value, got %S" w)
+      | None -> fail_tok line src w "expected key=value, got %S" w)
     words
 
-let int_attr line attrs key =
+let int_attr line src attrs key =
   match List.assoc_opt key attrs with
   | Some v -> (
     match int_of_string_opt v with
     | Some n -> Some n
-    | None -> fail line "attribute %s: %S is not an integer" key v)
+    | None -> fail_tok line src v "attribute %s: %S is not an integer" key v)
   | None -> None
 
-let require_int line attrs key =
-  match int_attr line attrs key with
+let require_int line src attrs key =
+  match int_attr line src attrs key with
   | Some n -> n
   | None -> fail line "missing attribute %s" key
 
-let known_attrs line attrs allowed =
+let known_attrs line src attrs allowed =
   List.iter
     (fun (k, _) ->
-      if not (List.mem k allowed) then fail line "unknown attribute %s" k)
+      if not (List.mem k allowed) then fail_tok line src k "unknown attribute %s" k)
     attrs
 
-let parse_shape line s =
+let parse_shape line src s =
   let segments = String.split_on_char 'x' s in
   let dims = List.filter_map int_of_string_opt segments in
   if List.length dims <> List.length segments then
-    fail line "bad shape %S (expected CxHxW or N)" s;
+    fail_tok line src s "bad shape %S (expected CxHxW or N)" s;
   match dims with
-  | [ c; h; w ] -> Shape.feature_map ~channels:c ~height:h ~width:w
-  | [ n ] -> Shape.vector n
-  | _ -> fail line "bad shape %S (expected CxHxW or N)" s
+  | [ c; h; w ] -> (
+    try Shape.feature_map ~channels:c ~height:h ~width:w
+    with Invalid_argument msg -> fail_tok line src s "bad shape %S: %s" s msg)
+  | [ n ] -> (
+    try Shape.vector n
+    with Invalid_argument msg -> fail_tok line src s "bad shape %S: %s" s msg)
+  | _ -> fail_tok line src s "bad shape %S (expected CxHxW or N)" s
 
 (* --- statement parsing --- *)
 
 type statement = {
   line : int;
+  src : string;  (** The statement's source text, for column diagnostics. *)
   op_name : string;
   node_name : string;
   producers : string list;
@@ -73,7 +99,7 @@ let parse_statement line text =
     in
     if op_name = "input" then
       (* shapes like 1x28x28 are not key=value attributes *)
-      Some { line; op_name; node_name; producers = rest; attrs = [] }
+      Some { line; src = text; op_name; node_name; producers = rest; attrs = [] }
     else
     let producers, attr_words =
       match rest with
@@ -85,7 +111,15 @@ let parse_statement line text =
         take [] rest
       | rest -> ([], rest)
     in
-    Some { line; op_name; node_name; producers; attrs = parse_attrs line attr_words }
+    Some
+      {
+        line;
+        src = text;
+        op_name;
+        node_name;
+        producers;
+        attrs = parse_attrs line text attr_words;
+      }
 
 let channels_of line g node =
   match Graph.shape_of g node with
@@ -99,49 +133,54 @@ let features_of line g node =
 
 let build_op st g inputs =
   let line = st.line in
+  let src = st.src in
+  (* Layer smart constructors validate their arguments with
+     [Invalid_argument]; every call funnels through here so the complaint
+     comes out located. *)
+  let locate make = try make () with Invalid_argument msg -> fail line "%s" msg in
   let one () =
     match inputs with
     | [ p ] -> p
     | _ -> fail line "%s expects exactly one producer" st.op_name
   in
   let pool () =
-    known_attrs line st.attrs [ "kernel"; "stride"; "pad" ];
-    let kernel = require_int line st.attrs "kernel" in
-    let stride = Option.value ~default:kernel (int_attr line st.attrs "stride") in
-    let padding = Option.value ~default:0 (int_attr line st.attrs "pad") in
+    known_attrs line src st.attrs [ "kernel"; "stride"; "pad" ];
+    let kernel = require_int line src st.attrs "kernel" in
+    let stride = Option.value ~default:kernel (int_attr line src st.attrs "stride") in
+    let padding = Option.value ~default:0 (int_attr line src st.attrs "pad") in
     ignore (one ());
     (kernel, stride, padding)
   in
   match st.op_name with
   | "input" -> fail line "input handled separately"
   | "conv" ->
-    known_attrs line st.attrs [ "out"; "kernel"; "stride"; "pad"; "groups" ];
-    let out_channels = require_int line st.attrs "out" in
-    let kernel = require_int line st.attrs "kernel" in
-    let stride = Option.value ~default:1 (int_attr line st.attrs "stride") in
-    let padding = Option.value ~default:(kernel / 2) (int_attr line st.attrs "pad") in
-    let groups = Option.value ~default:1 (int_attr line st.attrs "groups") in
+    known_attrs line src st.attrs [ "out"; "kernel"; "stride"; "pad"; "groups" ];
+    let out_channels = require_int line src st.attrs "out" in
+    let kernel = require_int line src st.attrs "kernel" in
+    let stride = Option.value ~default:1 (int_attr line src st.attrs "stride") in
+    let padding = Option.value ~default:(kernel / 2) (int_attr line src st.attrs "pad") in
+    let groups = Option.value ~default:1 (int_attr line src st.attrs "groups") in
     let in_channels = channels_of line g (one ()) in
-    (try Layer.conv ~stride ~padding ~groups ~in_channels ~out_channels kernel
-     with Invalid_argument msg -> fail line "%s" msg)
+    locate (fun () ->
+        Layer.conv ~stride ~padding ~groups ~in_channels ~out_channels kernel)
   | "depthwise" ->
-    known_attrs line st.attrs [ "kernel"; "stride"; "pad" ];
-    let kernel = require_int line st.attrs "kernel" in
-    let stride = Option.value ~default:1 (int_attr line st.attrs "stride") in
-    let padding = Option.value ~default:(kernel / 2) (int_attr line st.attrs "pad") in
+    known_attrs line src st.attrs [ "kernel"; "stride"; "pad" ];
+    let kernel = require_int line src st.attrs "kernel" in
+    let stride = Option.value ~default:1 (int_attr line src st.attrs "stride") in
+    let padding = Option.value ~default:(kernel / 2) (int_attr line src st.attrs "pad") in
     let channels = channels_of line g (one ()) in
-    Layer.depthwise ~stride ~padding ~channels kernel
+    locate (fun () -> Layer.depthwise ~stride ~padding ~channels kernel)
   | "linear" ->
-    known_attrs line st.attrs [ "out" ];
-    let out_features = require_int line st.attrs "out" in
+    known_attrs line src st.attrs [ "out" ];
+    let out_features = require_int line src st.attrs "out" in
     let in_features = features_of line g (one ()) in
-    Layer.linear ~in_features ~out_features
+    locate (fun () -> Layer.linear ~in_features ~out_features)
   | "maxpool" ->
     let kernel, stride, padding = pool () in
-    Layer.max_pool ~padding ~kernel ~stride ()
+    locate (fun () -> Layer.max_pool ~padding ~kernel ~stride ())
   | "avgpool" ->
     let kernel, stride, padding = pool () in
-    Layer.avg_pool ~padding ~kernel ~stride ()
+    locate (fun () -> Layer.avg_pool ~padding ~kernel ~stride ())
   | "relu" ->
     ignore (one ());
     Layer.Relu
@@ -163,7 +202,7 @@ let build_op st g inputs =
   | "concat" ->
     if List.length inputs < 2 then fail line "concat expects at least two producers";
     Layer.Concat
-  | other -> fail line "unknown operator %s" other
+  | other -> fail_tok line src other "unknown operator %s" other
 
 let parse text =
   let lines = String.split_on_char '\n' text in
@@ -189,12 +228,14 @@ let parse text =
       | Some st ->
         let graph = graph lineno in
         if Hashtbl.mem names st.node_name then
-          fail lineno "duplicate node name %s" st.node_name;
+          fail_tok lineno st.src st.node_name "duplicate node name %s" st.node_name;
         let node =
           if st.op_name = "input" then begin
             match st.producers with
-            | [ shape ] ->
-              Graph.add graph st.node_name (Layer.Input (parse_shape lineno shape))
+            | [ shape ] -> (
+              let input = Layer.Input (parse_shape lineno st.src shape) in
+              try Graph.add graph st.node_name input
+              with Invalid_argument msg -> fail lineno "%s" msg)
             | _ -> fail lineno "input needs exactly one shape"
           end
           else begin
@@ -203,7 +244,7 @@ let parse text =
                 (fun p ->
                   match Hashtbl.find_opt names p with
                   | Some n -> n
-                  | None -> fail lineno "unknown producer %s" p)
+                  | None -> fail_tok lineno st.src p "unknown producer %s" p)
                 st.producers
             in
             let op = build_op st graph inputs in

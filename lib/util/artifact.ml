@@ -1,0 +1,32 @@
+let write_atomic path contents =
+  (* The temp file must live in the destination directory: [Unix.rename]
+     is only atomic within one filesystem. *)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc contents;
+        flush oc)
+  with
+  | () -> (
+    try Unix.rename tmp path
+    with Unix.Unix_error (e, _, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise (Sys_error (Printf.sprintf "%s: rename failed: %s" path (Unix.error_message e))))
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let float_token f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let dec = Printf.sprintf "%.17g" f in
+    if float_of_string dec = f then dec else Printf.sprintf "%h" f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,25 @@
+(** Crash-safe artifact writes.
+
+    Compiled plans and GA checkpoints are written through
+    write-to-temp + atomic-rename, so a crash (or a second writer) can
+    never leave a half-written file behind under the destination path: a
+    reader sees either the previous complete artifact or the new one,
+    never a truncated mix. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents] writes [contents] to a fresh temporary
+    file in [path]'s directory, flushes it, and renames it over [path]
+    (atomic on POSIX within one filesystem).  On any error the temporary
+    file is removed and the original [path] is left untouched.  Raises
+    [Sys_error] on I/O failure. *)
+
+val float_token : float -> string
+(** Serialize a float so [float_of_string] reads back the identical bit
+    pattern: an exact integer prints plainly, otherwise the shortest
+    round-tripping decimal ([%.17g]), with the hex-float literal ([%h]) as
+    a guaranteed fallback.  Infinities print as ["inf"]/["-inf"], which
+    [float_of_string] also reads. *)
+
+val read_file : string -> string
+(** Whole-file read ([Sys_error] on failure), the load-side counterpart
+    used by plan and checkpoint loaders. *)

@@ -1,0 +1,55 @@
+type t = {
+  now : unit -> float;
+  deadline : float option;  (* absolute, on [now]'s clock *)
+  mutable last : float;  (* monotonization watermark *)
+  mutable cancelled : bool;
+  mutable tripped : bool;
+}
+
+let default_clock = Unix.gettimeofday
+
+let unlimited () =
+  {
+    now = default_clock;
+    deadline = None;
+    last = neg_infinity;
+    cancelled = false;
+    tripped = false;
+  }
+
+let of_deadline ?(now = default_clock) seconds =
+  (* [not (>=)] also rejects NaN. *)
+  if not (seconds >= 0.) then invalid_arg "Budget.of_deadline: negative or NaN deadline";
+  let t0 = now () in
+  {
+    now;
+    deadline = Some (t0 +. seconds);
+    last = t0;
+    cancelled = false;
+    tripped = false;
+  }
+
+let cancel t = t.cancelled <- true
+
+(* Clock reads never move backwards: a wall-clock step back must not
+   resurrect an expired deadline mid-search. *)
+let clock t =
+  let raw = t.now () in
+  let v = if raw > t.last then raw else t.last in
+  t.last <- v;
+  v
+
+let expired t =
+  let e =
+    t.tripped || t.cancelled
+    || match t.deadline with None -> false | Some d -> clock t >= d
+  in
+  if e then t.tripped <- true;
+  e
+
+let exhausted t = t.tripped
+
+let remaining_s t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (if t.cancelled then 0. else max 0. (d -. clock t))

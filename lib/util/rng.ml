@@ -54,3 +54,5 @@ let sample_without_replacement t n bound =
   Array.to_list (Array.sub pool 0 n)
 
 let split t = { state = next_int64 t }
+let state t = t.state
+let of_state s = { state = s }

@@ -46,3 +46,12 @@ val sample_without_replacement : t -> int -> int -> int list
 
 val split : t -> t
 (** [split t] derives a new independent generator from [t], advancing [t]. *)
+
+val state : t -> int64
+(** The raw 64-bit generator state, for checkpointing.  Note this is not
+    the [create] seed: [create s] starts from [Int64.of_int s], and the
+    state advances with every draw. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a {!state} snapshot; the new generator
+    continues the snapshotted stream exactly. *)

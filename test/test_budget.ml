@@ -1,0 +1,103 @@
+(* Deadline/cancellation tokens with an injected clock. *)
+
+open Compass_util
+
+(* A hand-cranked clock: [tick] advances it, the token only sees what we
+   feed it. *)
+let fake_clock start =
+  let t = ref start in
+  let now () = !t in
+  let set v = t := v in
+  (now, set)
+
+let test_unlimited () =
+  let b = Budget.unlimited () in
+  Alcotest.(check bool) "never expires" false (Budget.expired b);
+  Alcotest.(check bool) "not exhausted" false (Budget.exhausted b);
+  Alcotest.(check (option (float 0.))) "no remaining" None (Budget.remaining_s b)
+
+let test_expiry () =
+  let now, set = fake_clock 100. in
+  let b = Budget.of_deadline ~now 10. in
+  Alcotest.(check bool) "fresh" false (Budget.expired b);
+  Alcotest.(check (option (float 1e-9))) "remaining" (Some 10.) (Budget.remaining_s b);
+  set 105.;
+  Alcotest.(check bool) "mid-budget" false (Budget.expired b);
+  Alcotest.(check (option (float 1e-9))) "half left" (Some 5.) (Budget.remaining_s b);
+  set 110.;
+  Alcotest.(check bool) "at deadline" true (Budget.expired b);
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b)
+
+let test_sticky () =
+  let now, set = fake_clock 0. in
+  let b = Budget.of_deadline ~now 1. in
+  set 2.;
+  Alcotest.(check bool) "expired" true (Budget.expired b);
+  (* A wall-clock step backwards must not resurrect the budget. *)
+  set 0.5;
+  Alcotest.(check bool) "still expired" true (Budget.expired b);
+  Alcotest.(check bool) "still exhausted" true (Budget.exhausted b)
+
+let test_monotonic_clock () =
+  let now, set = fake_clock 50. in
+  let b = Budget.of_deadline ~now 10. in
+  (* The token's view of time never decreases even if the raw clock does. *)
+  set 55.;
+  Alcotest.(check (option (float 1e-9))) "advanced" (Some 5.) (Budget.remaining_s b);
+  set 52.;
+  Alcotest.(check (option (float 1e-9)))
+    "watermark holds" (Some 5.) (Budget.remaining_s b)
+
+let test_cancel () =
+  let now, _set = fake_clock 0. in
+  let b = Budget.of_deadline ~now 1000. in
+  Alcotest.(check bool) "fresh" false (Budget.expired b);
+  Budget.cancel b;
+  Alcotest.(check bool) "cancelled expires" true (Budget.expired b);
+  Alcotest.(check (option (float 0.))) "no time left" (Some 0.) (Budget.remaining_s b)
+
+let test_cancel_unlimited () =
+  let b = Budget.unlimited () in
+  Budget.cancel b;
+  Alcotest.(check bool) "cancel works without a deadline" true (Budget.expired b)
+
+let test_zero_deadline () =
+  let now, _set = fake_clock 7. in
+  let b = Budget.of_deadline ~now 0. in
+  Alcotest.(check bool) "instantly expired" true (Budget.expired b)
+
+let test_invalid () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Budget.of_deadline: negative or NaN deadline") (fun () ->
+      ignore (Budget.of_deadline (-1.)));
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Budget.of_deadline: negative or NaN deadline") (fun () ->
+      ignore (Budget.of_deadline Float.nan))
+
+let test_exhausted_only_after_observation () =
+  let now, set = fake_clock 0. in
+  let b = Budget.of_deadline ~now 1. in
+  set 5.;
+  (* [exhausted] reports whether an expiry was *observed*, so an
+     unobserved deadline is not yet exhausted. *)
+  Alcotest.(check bool) "not yet observed" false (Budget.exhausted b);
+  ignore (Budget.expired b);
+  Alcotest.(check bool) "observed" true (Budget.exhausted b)
+
+let () =
+  Alcotest.run "budget"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick test_unlimited;
+          Alcotest.test_case "expiry" `Quick test_expiry;
+          Alcotest.test_case "sticky" `Quick test_sticky;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel unlimited" `Quick test_cancel_unlimited;
+          Alcotest.test_case "zero deadline" `Quick test_zero_deadline;
+          Alcotest.test_case "invalid seconds" `Quick test_invalid;
+          Alcotest.test_case "exhausted needs observation" `Quick
+            test_exhausted_only_after_observation;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# CLI smoke test: subcommand behaviour and the exit-code policy
+#   0 success / 1 verify violations / 2 user error / 3 internal error.
+set -u
+
+CLI="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fails=0
+
+expect_exit() {
+  local want="$1" label="$2"
+  shift 2
+  "$@" >"$TMP/out" 2>"$TMP/err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label: expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+expect_stderr_line_count() {
+  local label="$1"
+  local lines
+  lines=$(wc -l <"$TMP/err")
+  if [ "$lines" -ne 1 ]; then
+    echo "FAIL: $label: expected a one-line stderr diagnostic, got $lines lines" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+# --- success paths ---
+expect_exit 0 "info" "$CLI" info
+expect_exit 0 "compile quick" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --save "$TMP/good.plan"
+expect_exit 0 "verify clean plan" "$CLI" verify "$TMP/good.plan"
+grep -q "satisfies all verifier invariants" "$TMP/out" || {
+  echo "FAIL: verify did not report a clean plan" >&2
+  fails=$((fails + 1))
+}
+
+# --- deadline smoke: a 1s budget still yields a valid best-so-far plan ---
+expect_exit 0 "deadline smoke" "$CLI" compile -m resnet18 -c S -b 4 \
+  --deadline 1 --verify
+
+# --- checkpoint / resume round trip ---
+expect_exit 0 "checkpoint write" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --checkpoint "$TMP/ck.txt"
+[ -f "$TMP/ck.txt" ] || { echo "FAIL: no checkpoint written" >&2; fails=$((fails + 1)); }
+expect_exit 0 "resume" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --resume "$TMP/ck.txt"
+
+# --- exit 1: verify finds violations ---
+# Corrupt the archived cuts so the plan no longer covers the model: the
+# file still parses if we keep it structurally valid, so instead verify a
+# plan whose stored batch disagrees -- simplest true-violation fixture is
+# produced by verifying a plan file compiled for different content.  A
+# structurally-broken file is exit 2; a *verifiably wrong* plan needs
+# record surgery, which the unit tests cover.  Here we check the exit-1
+# wiring with a hand-made minimal violation: none is constructible from
+# the CLI alone, so this section only asserts the 0/2 split plus exit 3.
+
+# --- exit 2: user errors, one-line diagnostics ---
+expect_exit 2 "unknown model" "$CLI" compile -m nosuchnet --quick
+expect_stderr_line_count "unknown model"
+expect_exit 2 "unknown chip" "$CLI" compile -c Z --quick
+expect_stderr_line_count "unknown chip"
+expect_exit 2 "bad faults spec" "$CLI" compile -m lenet5 --quick --faults "dead:banana"
+expect_stderr_line_count "bad faults spec"
+expect_exit 2 "negative deadline" "$CLI" compile -m lenet5 --quick --deadline=-4
+expect_stderr_line_count "negative deadline"
+echo "garbage" >"$TMP/bad.plan"
+expect_exit 2 "corrupt plan verify" "$CLI" verify "$TMP/bad.plan"
+expect_exit 2 "corrupt plan load" "$CLI" plan "$TMP/bad.plan"
+echo "compass-plan 9" >"$TMP/v9.plan"
+expect_exit 2 "version mismatch" "$CLI" verify "$TMP/v9.plan"
+grep -q "unsupported compass-plan version" "$TMP/err" || {
+  echo "FAIL: version mismatch not diagnosed" >&2
+  fails=$((fails + 1))
+}
+echo "garbage" >"$TMP/bad.ck"
+expect_exit 2 "corrupt checkpoint resume" "$CLI" compile -m lenet5 --quick \
+  --resume "$TMP/bad.ck"
+
+# --- exit 3: internal invariant failure carries a bug-report hint ---
+COMPASS_INTERNAL_FAULT=1 "$CLI" compile -m lenet5 --quick >"$TMP/out" 2>"$TMP/err"
+got=$?
+if [ "$got" -ne 3 ]; then
+  echo "FAIL: internal fault: expected exit 3, got $got" >&2
+  fails=$((fails + 1))
+fi
+grep -q "bug in compass" "$TMP/err" || {
+  echo "FAIL: internal fault diagnostic lacks the bug-report hint" >&2
+  fails=$((fails + 1))
+}
+
+if [ "$fails" -ne 0 ]; then
+  echo "test_cli: $fails failure(s)" >&2
+  exit 1
+fi
+echo "test_cli: all checks passed"

@@ -92,6 +92,61 @@ let test_error_empty () =
 let test_error_bad_shape () =
   check_parse_error "model m\ninput in 3x\n" 2
 
+(* Corpus of malformed inputs: every case must fail with a *located*
+   diagnostic (correct line, and the offending token's column where it
+   exists), never a bare exception. *)
+
+let check_parse_error_msg text expected_line fragment =
+  try
+    ignore (Model_text.parse text);
+    Alcotest.fail "expected Parse_error"
+  with Model_text.Parse_error (line, msg) ->
+    Alcotest.(check int) "error line" expected_line line;
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains msg fragment) then
+      Alcotest.failf "diagnostic %S does not mention %S" msg fragment
+
+let test_corpus_located () =
+  (* Non-integer attribute value, with the offending token's column. *)
+  check_parse_error_msg "model m\ninput in 3x8x8\nconv c from in out=banana kernel=3\n" 3
+    "not an integer";
+  check_parse_error_msg "model m\ninput in 3x8x8\nconv c from in out=banana kernel=3\n" 3
+    "column";
+  (* Unknown operator names its column too. *)
+  check_parse_error_msg "model m\ninput in 4\nwarp w from in\n" 3 "unknown operator";
+  check_parse_error_msg "model m\ninput in 4\nwarp w from in\n" 3 "column 1";
+  (* Unknown attribute. *)
+  check_parse_error_msg "model m\ninput in 3x8x8\nconv c from in out=4 kernel=3 zap=1\n" 3
+    "unknown attribute zap";
+  (* Bare word where key=value expected. *)
+  check_parse_error_msg "model m\ninput in 8\nlinear fc from in out=4 oops\n" 3
+    "expected key=value"
+
+let test_corpus_constructor_errors () =
+  (* Invalid layer parameters surface as located diagnostics, not raw
+     Invalid_argument from the layer smart constructors. *)
+  check_parse_error "model m\ninput in 3x8x8\nconv c from in out=4 kernel=0\n" 3;
+  check_parse_error "model m\ninput in 3x8x8\ndepthwise d from in kernel=0\n" 3;
+  check_parse_error "model m\ninput in 8\nlinear fc from in out=-3\n" 3;
+  check_parse_error "model m\ninput in 3x8x8\nmaxpool p from in kernel=-2\n" 3;
+  (* Bad shapes, including non-positive dimensions. *)
+  check_parse_error "model m\ninput in 0x8x8\n" 2;
+  check_parse_error "model m\ninput in 3x8x8x8\n" 2;
+  check_parse_error "model m\ninput in -4\n" 2
+
+let test_corpus_truncation () =
+  (* Descriptions cut off mid-way fail cleanly at the right line. *)
+  check_parse_error "model m\ninput in 3x8x8\nconv c from in\n" 3 (* attrs lost *);
+  check_parse_error "model m\ninput in 3x8x8\nconv\n" 3 (* name lost *);
+  check_parse_error "model m\ninput in\n" 2 (* shape lost *);
+  (* A consumer statement whose producer line vanished. *)
+  check_parse_error_msg "model m\nconv c from in out=4 kernel=3\n" 2 "unknown producer";
+  check_parse_error "" 0 (* everything lost: empty description *)
+
 let test_comments_and_blanks () =
   let g = Model_text.parse "# header\n\nmodel m\n  # indented comment\ninput in 8\nlinear fc from in out=4 # trailing\n" in
   Alcotest.(check int) "two nodes" 2 (Graph.node_count g)
@@ -182,6 +237,10 @@ let () =
           Alcotest.test_case "shape mismatch" `Quick test_error_shape_mismatch;
           Alcotest.test_case "empty" `Quick test_error_empty;
           Alcotest.test_case "bad shape" `Quick test_error_bad_shape;
+          Alcotest.test_case "located corpus" `Quick test_corpus_located;
+          Alcotest.test_case "constructor errors located" `Quick
+            test_corpus_constructor_errors;
+          Alcotest.test_case "truncation corpus" `Quick test_corpus_truncation;
         ] );
       ( "roundtrip",
         [

@@ -1,0 +1,256 @@
+(* The independent plan verifier: compiled plans from every scheme pass,
+   and corrupted plans (record surgery on the public plan type) are
+   rejected. *)
+
+open Compass_core
+open Compass_arch
+
+let quick = { Ga.quick_params with Ga.seed = 3; jobs = 1 }
+
+let compile ?faults ?(scheme = Compiler.Greedy) ?(batch = 4) name =
+  Compiler.compile ~ga_params:quick ?faults
+    ~model:(Compass_nn.Models.by_name name)
+    ~chip:Config.chip_s ~batch scheme
+
+let check_clean tag plan =
+  match Verify.check plan with
+  | [] -> ()
+  | violations -> Alcotest.failf "%s: unexpected violations:\n%s" tag (Verify.render violations)
+
+let check_rejected tag mutant =
+  match Verify.check mutant with
+  | [] -> Alcotest.failf "%s: verifier accepted the mutant" tag
+  | _ :: _ -> ()
+
+(* Every scheme x a few zoo models, healthy chip. *)
+let test_schemes_pass () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun scheme ->
+          let plan = compile ~scheme name in
+          check_clean
+            (name ^ "/" ^ Compiler.scheme_to_string scheme)
+            plan)
+        [ Compiler.Compass; Compiler.Greedy; Compiler.Layerwise; Compiler.Optimal ])
+    [ "lenet5"; "squeezenet" ]
+
+let fault_spec spec =
+  Fault.of_string spec ~seed:0 ~cores:Config.chip_s.Config.cores
+    ~macros_per_core:Config.chip_s.Config.core.Config.macros_per_core
+
+(* Fault-aware plans pass too: the verifier recomputes the degraded
+   per-core capacities on its own. *)
+let test_fault_plans_pass () =
+  let faults = fault_spec "dead:2;degraded:5=4" in
+  List.iter
+    (fun scheme ->
+      check_clean
+        ("faulted/" ^ Compiler.scheme_to_string scheme)
+        (compile ~faults ~scheme "squeezenet"))
+    [ Compiler.Compass; Compiler.Greedy; Compiler.Optimal ];
+  let endurance = fault_spec "endurance:1e6" in
+  check_clean "endurance budget" (compile ~faults:endurance "lenet5")
+
+(* Mutation corpus: each surgery must be caught. *)
+
+let with_first_span plan f =
+  let perf = plan.Compiler.perf in
+  let spans =
+    match perf.Estimator.spans with
+    | s :: rest -> f s :: rest
+    | [] -> Alcotest.fail "plan has no spans"
+  in
+  { plan with Compiler.perf = { perf with Estimator.spans } }
+
+let test_mutants_rejected () =
+  let plan = compile "lenet5" in
+  check_clean "baseline" plan;
+  (* Batch mismatch between plan and estimate. *)
+  check_rejected "batch mismatch" { plan with Compiler.batch = plan.Compiler.batch + 1 };
+  (* Drop a unit: the group no longer covers the decomposition. *)
+  let cuts = Partition.cuts plan.Compiler.group in
+  let dropped = Array.copy cuts in
+  dropped.(Array.length dropped - 1) <- dropped.(Array.length dropped - 1) - 1;
+  check_rejected "dropped unit"
+    { plan with Compiler.group = Partition.of_cuts dropped };
+  (* Replication surgery. *)
+  let tamper_rep f =
+    with_first_span plan (fun s ->
+        let r = s.Estimator.replication in
+        { s with Estimator.replication = { r with Replication.per_layer = f r.Replication.per_layer } })
+  in
+  check_rejected "inflated replication"
+    (tamper_rep (function (n, k) :: rest -> (n, k + 5) :: rest | [] -> []));
+  check_rejected "zero replication"
+    (tamper_rep (function (n, _) :: rest -> (n, 0) :: rest | [] -> []));
+  check_rejected "foreign layer replication" (tamper_rep (fun l -> (99_999, 2) :: l));
+  (* Core overload: pile every tile onto core 0. *)
+  check_rejected "core overload"
+    (with_first_span plan (fun s ->
+         let t = s.Estimator.tiles_per_core in
+         let all = Array.fold_left ( + ) 0 t in
+         let t' = Array.make (Array.length t) 0 in
+         t'.(0) <- all + Config.chip_s.Config.core.Config.macros_per_core + 1;
+         { s with Estimator.tiles_per_core = t' }));
+  (* Span boundary surgery: the estimate no longer matches the group. *)
+  check_rejected "shifted span"
+    (with_first_span plan (fun s -> { s with Estimator.stop = s.Estimator.stop - 1 }));
+  (* Endurance ledger tampering. *)
+  let e = plan.Compiler.perf.Estimator.endurance in
+  check_rejected "endurance tamper"
+    {
+      plan with
+      Compiler.perf =
+        {
+          plan.Compiler.perf with
+          Estimator.endurance =
+            {
+              e with
+              Estimator.writes_per_inference = e.Estimator.writes_per_inference +. 1.;
+            };
+        };
+    }
+
+let test_multi_span_mutants () =
+  (* Layerwise gives one span per weighted layer — enough structure to
+     corrupt the span sequence itself. *)
+  let plan = compile ~scheme:Compiler.Layerwise "lenet5" in
+  check_clean "baseline" plan;
+  let perf = plan.Compiler.perf in
+  (match perf.Estimator.spans with
+  | a :: b :: rest ->
+    check_rejected "swapped spans"
+      { plan with Compiler.perf = { perf with Estimator.spans = b :: a :: rest } };
+    check_rejected "dropped span"
+      { plan with Compiler.perf = { perf with Estimator.spans = b :: rest } }
+  | _ -> Alcotest.fail "expected >= 2 spans");
+  ()
+
+let test_dead_core_mutant () =
+  let faults = fault_spec "dead:2" in
+  let plan = compile ~faults "lenet5" in
+  check_clean "baseline" plan;
+  (* Move a tile onto the dead core — a mapping the degraded chip cannot
+     execute. *)
+  check_rejected "tiles on a dead core"
+    (with_first_span plan (fun s ->
+         let t = Array.copy s.Estimator.tiles_per_core in
+         let donor =
+           let rec find i =
+             if i >= Array.length t then Alcotest.fail "no tiles placed"
+             else if t.(i) > 0 && i <> 2 then i
+             else find (i + 1)
+           in
+           find 0
+         in
+         t.(donor) <- t.(donor) - 1;
+         t.(2) <- t.(2) + 1;
+         { s with Estimator.tiles_per_core = t }))
+
+(* Property: random small chain models compile cleanly under every scheme
+   and the verifier agrees with all of them. *)
+
+let build_model_text (ch, hw, outs, fc) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "model rnd\n";
+  Buffer.add_string buf (Printf.sprintf "input in %dx%dx%d\n" ch hw hw);
+  List.iteri
+    (fun i out ->
+      let from = if i = 0 then "in" else Printf.sprintf "r%d" (i - 1) in
+      Buffer.add_string buf (Printf.sprintf "conv c%d from %s out=%d kernel=3\n" i from out);
+      Buffer.add_string buf (Printf.sprintf "relu r%d from c%d\n" i i))
+    outs;
+  Buffer.add_string buf (Printf.sprintf "gap g from r%d\n" (List.length outs - 1));
+  Buffer.add_string buf (Printf.sprintf "linear fc from g out=%d\n" fc);
+  Buffer.contents buf
+
+let model_params_gen =
+  QCheck.Gen.(
+    quad (int_range 1 4) (int_range 6 14)
+      (list_size (int_range 1 3) (int_range 4 12))
+      (int_range 4 24))
+
+let prop_random_models_verify =
+  QCheck.Test.make ~name:"random models verify clean under every scheme" ~count:6
+    (QCheck.make model_params_gen ~print:(fun p -> build_model_text p))
+    (fun params ->
+      let model = Compass_nn.Model_text.parse (build_model_text params) in
+      List.for_all
+        (fun scheme ->
+          let plan =
+            Compiler.compile ~ga_params:quick ~model ~chip:Config.chip_s ~batch:2 scheme
+          in
+          Verify.check plan = [])
+        [ Compiler.Compass; Compiler.Greedy; Compiler.Layerwise; Compiler.Optimal ])
+
+let prop_random_mutants_rejected =
+  (* Randomized replication inflation over random models: the verifier
+     rejects every such mutant. *)
+  QCheck.Test.make ~name:"random replication mutants rejected" ~count:6
+    (QCheck.make
+       QCheck.Gen.(pair model_params_gen (int_range 1 7))
+       ~print:(fun (p, k) -> Printf.sprintf "%s (+%d)" (build_model_text p) k))
+    (fun (params, extra) ->
+      let model = Compass_nn.Model_text.parse (build_model_text params) in
+      let plan =
+        Compiler.compile ~ga_params:quick ~model ~chip:Config.chip_s ~batch:2
+          Compiler.Greedy
+      in
+      let perf = plan.Compiler.perf in
+      let mutant =
+        match perf.Estimator.spans with
+        | s :: rest ->
+          let r = s.Estimator.replication in
+          let per_layer =
+            match r.Replication.per_layer with
+            | (n, k) :: more -> (n, k + extra) :: more
+            | [] -> []
+          in
+          {
+            plan with
+            Compiler.perf =
+              {
+                perf with
+                Estimator.spans =
+                  {
+                    s with
+                    Estimator.replication = { r with Replication.per_layer };
+                  }
+                  :: rest;
+              };
+          }
+        | [] -> plan
+      in
+      Verify.check mutant <> [])
+
+let test_render () =
+  let plan = compile "lenet5" in
+  Alcotest.(check string) "clean render" "plan satisfies all verifier invariants"
+    (Verify.render (Verify.check plan));
+  let mutant = { plan with Compiler.batch = plan.Compiler.batch + 1 } in
+  let rendered = Verify.render (Verify.check mutant) in
+  Alcotest.(check bool) "mentions violation" true
+    (String.length rendered > 0 && rendered <> "plan satisfies all verifier invariants")
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "every scheme passes" `Quick test_schemes_pass;
+          Alcotest.test_case "fault-aware plans pass" `Quick test_fault_plans_pass;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "single-span corpus" `Quick test_mutants_rejected;
+          Alcotest.test_case "multi-span corpus" `Quick test_multi_span_mutants;
+          Alcotest.test_case "dead-core placement" `Quick test_dead_core_mutant;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_random_models_verify;
+          QCheck_alcotest.to_alcotest prop_random_mutants_rejected;
+        ] );
+    ]
