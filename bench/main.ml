@@ -4,7 +4,7 @@
 
    Sections (pass names as arguments to run a subset; default = all):
      table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 validate ablation envm
-     quant stability onchip model_ablation parallel faults dp micro
+     quant stability onchip model_ablation parallel faults dp micro observe
 
    The experiment index lives in DESIGN.md; measured-vs-paper numbers are
    recorded in EXPERIMENTS.md. *)
@@ -991,6 +991,48 @@ let micro () =
   Table.print table
 
 (* -------------------------------------------------------------------- *)
+(* Observability: instrumentation overhead, enabled vs disabled         *)
+
+let observe () =
+  section_banner "observe"
+    "tracing/metrics instrumentation overhead (budget: <2% enabled)";
+  let model = Compass_nn.Models.resnet18 () in
+  let chip = Compass_arch.Config.chip_s in
+  let prepared = Compiler.prepare ~model ~chip () in
+  let params = { Ga.quick_params with Ga.seed = 7 } in
+  let compile () =
+    ignore
+      (Compiler.compile_prepared ~ga_params:params ~batch:16 prepared Compiler.Compass)
+  in
+  let time_one () =
+    let t0 = Unix.gettimeofday () in
+    compile ();
+    Unix.gettimeofday () -. t0
+  in
+  let repeats = 15 in
+  let sample () =
+    let a = Array.init repeats (fun _ -> time_one ()) in
+    Array.sort compare a;
+    a.(repeats / 2)
+  in
+  compile ();
+  (* warm-up *)
+  let off = sample () in
+  Trace.enable ();
+  Metrics.enable ();
+  let on_ = sample () in
+  Trace.disable ();
+  Metrics.disable ();
+  Trace.reset ();
+  Metrics.reset ();
+  let overhead = 100. *. ((on_ /. off) -. 1.) in
+  Printf.printf "disabled: %s/compile (median of %d)\nenabled:  %s/compile\n"
+    (Units.time_to_string off) repeats
+    (Units.time_to_string on_);
+  Printf.printf "observe overhead: %.2f%% (budget 2%%) %s\n" overhead
+    (if overhead < 2. then "PASS" else "FAIL")
+
+(* -------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1013,6 +1055,7 @@ let sections =
     ("faults", faults);
     ("dp", dp);
     ("micro", micro);
+    ("observe", observe);
   ]
 
 let () =

@@ -139,6 +139,62 @@ let guard f =
       (Printexc.to_string e);
     exit 3
 
+(* Output paths are validated before any compilation work starts, so a
+   typo'd --trace/--checkpoint path fails in milliseconds with a located
+   diagnostic (exit 2) instead of surfacing as a bare Sys_error after the
+   search has already run. *)
+let ensure_writable ~flag path =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let dir = Filename.dirname path in
+  if not (Sys.file_exists dir) then
+    fail "%s %s: directory %s does not exist" flag path dir
+  else if not (Sys.is_directory dir) then fail "%s %s: %s is not a directory" flag path dir
+  else if Sys.file_exists path && Sys.is_directory path then
+    fail "%s %s: is a directory" flag path
+  else
+    let probe = if Sys.file_exists path then path else dir in
+    match Unix.access probe [ Unix.W_OK ] with
+    | () -> ()
+    | exception Unix.Unix_error _ -> fail "%s %s: permission denied" flag path
+
+let trace_arg =
+  let doc =
+    "Record a structured trace of the run and write it to $(docv) as Chrome \
+     trace_event JSON (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect typed counters and gauges during the run and print the merged \
+     metrics table (plus a span summary when tracing is on) afterwards."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Validate output paths, enable collection, run, then export.  Returns
+   [f]'s result so callers can exit on it after the trace is written. *)
+let with_observability ~trace ~metrics f =
+  Option.iter (fun path -> ensure_writable ~flag:"--trace" path) trace;
+  if trace <> None then Compass_util.Trace.enable ();
+  if metrics then Compass_util.Metrics.enable ();
+  let result = f () in
+  (match trace with
+  | Some path ->
+    Compass_util.Trace.save_chrome path;
+    Printf.printf "wrote trace to %s (open in Perfetto / chrome://tracing)\n" path
+  | None -> ());
+  if metrics then begin
+    print_newline ();
+    print_endline "metrics:";
+    Compass_util.Table.print (Report.profile_table ());
+    if Compass_util.Trace.enabled () then begin
+      print_newline ();
+      print_endline "span summary:";
+      Compass_util.Table.print (Compass_util.Trace.summary_table ())
+    end
+  end;
+  result
+
 let realize_faults spec ~seed chip =
   let f =
     Compass_arch.Fault.of_string spec ~seed ~cores:chip.Compass_arch.Config.cores
@@ -215,8 +271,11 @@ let compile_cmd =
              violation here is a compass bug and exits 3.")
   in
   let run model chip batch scheme objective seed jobs simulate quick save tech faults
-      fault_seed warm_start deadline checkpoint resume verify =
+      fault_seed warm_start deadline checkpoint resume verify trace metrics =
    guard @@ fun () ->
+    Option.iter (fun path -> ensure_writable ~flag:"--checkpoint" path) checkpoint;
+    Option.iter (fun path -> ensure_writable ~flag:"--save" path) save;
+    with_observability ~trace ~metrics @@ fun () ->
     let model = lookup_model model in
     let chip = retarget ~tech:(lookup_tech tech) (lookup_chip chip) in
     let scheme = Compiler.scheme_of_string scheme in
@@ -278,7 +337,7 @@ let compile_cmd =
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
       $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg
       $ faults_arg $ fault_seed_arg $ warm_start_arg $ deadline_arg $ checkpoint_arg
-      $ resume_arg $ verify_flag)
+      $ resume_arg $ verify_flag $ trace_arg $ metrics_arg)
 
 (* plan: reload an archived plan *)
 
@@ -313,15 +372,20 @@ let verify_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Archived plan (written by compile --save).")
   in
-  let run file =
-    match Plan_text.load file with
-    | plan ->
-      let violations = Verify.check plan in
-      print_endline (Verify.render violations);
-      if violations <> [] then exit 1
-    | exception Plan_text.Load_error msg ->
-      Printf.eprintf "compass: %s: %s\n" file msg;
-      exit 2
+  let run file trace metrics =
+   guard @@ fun () ->
+    let violations =
+      with_observability ~trace ~metrics @@ fun () ->
+      match Plan_text.load file with
+      | plan ->
+        let violations = Verify.check plan in
+        print_endline (Verify.render violations);
+        violations
+      | exception Plan_text.Load_error msg ->
+        Printf.eprintf "compass: %s: %s\n" file msg;
+        exit 2
+    in
+    if violations <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "verify"
@@ -330,7 +394,7 @@ let verify_cmd =
           invariant (coverage, capacity, replication, dataflow, endurance).  \
           Exit 0 when clean, 1 when violations are found, 2 when the file \
           cannot be read.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_arg $ metrics_arg)
 
 (* validity *)
 
@@ -521,8 +585,9 @@ let sweep_cmd =
 (* gap: how far each scheme lands from the DP's certified bound *)
 
 let gap_cmd =
-  let run model chip batch objective seed jobs quick =
+  let run model chip batch objective seed jobs quick trace metrics =
    guard @@ fun () ->
+    with_observability ~trace ~metrics @@ fun () ->
     let model = lookup_model model in
     let chip = lookup_chip chip in
     let objective = Fitness.objective_of_string objective in
@@ -539,7 +604,7 @@ let gap_cmd =
        ~doc:"Optimality gap of every scheme against the exact DP bound")
     Term.(
       const run $ model_arg $ chip_arg $ batch_arg $ objective_arg $ seed_arg
-      $ jobs_arg $ quick_arg)
+      $ jobs_arg $ quick_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "COMPASS: compiler for resource-constrained crossbar PIM accelerators" in

@@ -50,13 +50,23 @@ type prepared = {
 }
 
 let prepare ?faults ~model ~chip () =
-  let units = Unit_gen.generate model chip in
+  Compass_util.Trace.with_span "compiler.prepare"
+    ~args:[ ("model", Compass_nn.Graph.name model) ]
+  @@ fun () ->
+  let units =
+    Compass_util.Trace.with_span "prepare.unit_gen" (fun () ->
+        Unit_gen.generate model chip)
+  in
   {
     p_model = model;
     p_chip = chip;
     p_units = units;
-    p_ctx = Dataflow.context units;
-    p_validity = Validity.build ?faults units;
+    p_ctx =
+      Compass_util.Trace.with_span "prepare.dataflow" (fun () ->
+          Dataflow.context units);
+    p_validity =
+      Compass_util.Trace.with_span "prepare.validity" (fun () ->
+          Validity.build ?faults units);
     p_faults = faults;
   }
 
@@ -70,8 +80,17 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
   let { p_model = model; p_chip = chip; p_units = units; p_ctx = ctx;
         p_validity = validity; p_faults = faults } = prepared in
   let options = options_for faults in
+  Compass_util.Trace.with_span "compiler.compile"
+    ~args:
+      [
+        ("scheme", scheme_to_string scheme);
+        ("objective", Fitness.objective_to_string objective);
+        ("batch", string_of_int batch);
+      ]
+  @@ fun () ->
   let run_dp () = Optimal.optimize ~objective ~options ?cache ?budget ctx validity ~batch in
   let group, ga, dp =
+    Compass_util.Trace.with_span "compile.search" @@ fun () ->
     match scheme with
     | Greedy -> (Baselines.greedy validity, None, None)
     | Layerwise -> (Baselines.layerwise validity, None, None)
@@ -92,6 +111,7 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
       (result.Ga.best.Ga.group, Some result, dp)
   in
   let perf =
+    Compass_util.Trace.with_span "compile.evaluate" @@ fun () ->
     match cache with
     | None -> Estimator.evaluate ~options ctx ~batch group
     | Some cache -> Estimator.evaluate_cached ~cache ctx ~batch group

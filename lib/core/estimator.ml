@@ -324,6 +324,7 @@ let combine ?(options = default_options) ctx ~batch spans =
 
 let evaluate ?(options = default_options) ctx ~batch group =
   if batch < 1 then invalid_arg "Estimator.evaluate: batch < 1";
+  Compass_util.Metrics.incr "estimator.group_evaluations";
   if Partition.total_units group <> Unit_gen.unit_count (Dataflow.units ctx) then
     invalid_arg "Estimator.evaluate: group does not cover the decomposition";
   let spans =
@@ -379,8 +380,11 @@ let span_perf_cached ?shared ~cache ctx ~start_ ~stop =
     | None -> Span_cache.find_opt cache key
   in
   match hit with
-  | Some sp -> sp
+  | Some sp ->
+    Compass_util.Metrics.incr "estimator.span_cache.hits";
+    sp
   | None ->
+    Compass_util.Metrics.incr "estimator.span_cache.misses";
     let sp =
       span_perf ~options:(Span_cache.options cache) ctx ~batch:(Span_cache.batch cache)
         ~start_ ~stop
@@ -390,6 +394,7 @@ let span_perf_cached ?shared ~cache ctx ~start_ ~stop =
 
 let evaluate_cached ?shared ~cache ctx ~batch group =
   if batch < 1 then invalid_arg "Estimator.evaluate_cached: batch < 1";
+  Compass_util.Metrics.incr "estimator.group_evaluations";
   if Span_cache.batch cache <> batch then
     invalid_arg
       (Printf.sprintf "Estimator.evaluate_cached: cache built for batch %d, called with %d"

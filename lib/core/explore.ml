@@ -28,6 +28,13 @@ let sweep ?objective ?ga_params ?jobs ?budget ~model ~chips ~batches () =
             if expired () then None
             else
               let plan =
+                Compass_util.Trace.with_span "explore.point"
+                  ~args:
+                    [
+                      ("chip", chip.Compass_arch.Config.label);
+                      ("batch", string_of_int batch);
+                    ]
+                @@ fun () ->
                 Compiler.compile_prepared ?objective ?ga_params ?jobs ?budget ~batch
                   prepared Compiler.Compass
               in

@@ -244,6 +244,7 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
      the hot path, and cache hits still accumulate across generations. *)
   let evaluate_batch groups =
     evaluations := !evaluations + Array.length groups;
+    Metrics.incr ~by:(Array.length groups) "ga.fitness_evaluations";
     let perfs, locals =
       Pool.map_init pool
         ~init:(fun () -> Estimator.Span_cache.create ~options ~batch ())
@@ -300,7 +301,8 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
      the result always carries a best-so-far plan. *)
   let population =
     ref
-      (let inds = evaluate_partial initial_groups in
+      (Trace.with_span "ga.init_population" @@ fun () ->
+       let inds = evaluate_partial initial_groups in
        if Array.length inds = 0 then evaluate_batch (Array.sub initial_groups 0 1)
        else inds)
   in
@@ -346,6 +348,9 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
          interrupted := true;
          raise Exit
        end;
+       Trace.with_span ~args:[ ("generation", string_of_int g) ] "ga.generation"
+       @@ fun () ->
+       Metrics.incr "ga.generations";
        generations_run := g + 1;
        by_fitness !population;
        let pop = !population in
@@ -418,6 +423,7 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
      done
    with Exit -> ());
   by_fitness !population;
+  Metrics.set "ga.best_fitness" !population.(0).fitness;
   {
     best = !population.(0);
     history = List.rev !history;

@@ -148,9 +148,18 @@ let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_option
   let chip = (Dataflow.units ctx).Unit_gen.chip in
   let static_power_w = chip.Compass_arch.Config.chip_power_w in
   let write_overlap = options.Estimator.write_overlap in
-  let dp extend = run_dp ~m ~validity ~perf_of ~extend in
+  let dp extend =
+    Compass_util.Trace.with_span "dp.sweep" @@ fun () ->
+    run_dp ~m ~validity ~perf_of ~extend
+  in
   let finish ?(budget_exhausted = false) ~edges ~group_evaluations ~value ~lower_bound
       ~exact group perf =
+    let valid_spans = count_valid_spans validity ~m in
+    let spans_evaluated = Estimator.Span_cache.length cache - spans_before in
+    Compass_util.Metrics.incr ~by:valid_spans "dp.valid_spans";
+    Compass_util.Metrics.incr ~by:spans_evaluated "dp.spans_evaluated";
+    Compass_util.Metrics.incr ~by:edges "dp.edges_relaxed";
+    Compass_util.Metrics.incr ~by:group_evaluations "dp.group_evaluations";
     {
       objective;
       group;
@@ -159,13 +168,7 @@ let optimize ?(objective = Fitness.Latency) ?(options = Estimator.default_option
       lower_bound;
       exact;
       budget_exhausted;
-      stats =
-        {
-          valid_spans = count_valid_spans validity ~m;
-          spans_evaluated = Estimator.Span_cache.length cache - spans_before;
-          edges_relaxed = edges;
-          group_evaluations;
-        };
+      stats = { valid_spans; spans_evaluated; edges_relaxed = edges; group_evaluations };
     }
   in
   try

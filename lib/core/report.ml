@@ -180,6 +180,26 @@ let endurance_table ?endurance_cycles plans =
     plans;
   table
 
+let profile_table () =
+  let open Compass_util in
+  let table = Table.create ~aligns:[ Table.Left; Table.Right ] [ "metric"; "value" ] in
+  List.iter
+    (fun (name, v) -> Table.add_row table [ name; Metrics.value_to_string v ])
+    (Metrics.snapshot ());
+  (* Derived rates, appended after the raw catalogue. *)
+  let int_of name = Option.value ~default:0 (Metrics.find_int name) in
+  let ratio_row name hits misses =
+    let total = hits + misses in
+    if total > 0 then
+      Table.add_row table
+        [ name; Printf.sprintf "%.1f%%" (100. *. float_of_int hits /. float_of_int total) ]
+  in
+  ratio_row "estimator.span_cache.hit_rate"
+    (int_of "estimator.span_cache.hits")
+    (int_of "estimator.span_cache.misses");
+  ratio_row "dram.row_hit_rate" (int_of "dram.row_hits") (int_of "dram.row_misses");
+  table
+
 let plan_layer_table (plan : Compiler.t) =
   let open Compass_util in
   let model = plan.Compiler.model in

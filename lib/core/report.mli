@@ -74,6 +74,12 @@ val endurance_table : ?endurance_cycles:float -> Compiler.t list -> Compass_util
     [?endurance_cycles] (e.g.
     [Compass_arch.Technology.reram.endurance_cycles]). *)
 
+val profile_table : unit -> Compass_util.Table.t
+(** The merged {!Compass_util.Metrics} snapshot as a two-column table,
+    followed by derived rates (estimator span-cache hit rate, DRAM row-hit
+    rate) when their inputs are present.  Meaningful only after a run with
+    metrics enabled. *)
+
 val plan_layer_table : Compiler.t -> Compass_util.Table.t
 (** One row per weighted layer of the plan: partition, replication, stage
     time after replication, and whether the layer is the partition's

@@ -97,6 +97,9 @@ let consumer_cores ctx plan node =
 
 let build ?faults ctx group ~batch ?(chunks = 4) () =
   if batch < 1 then invalid_arg "Scheduler.build: batch < 1";
+  Compass_util.Trace.with_span "schedule.build"
+    ~args:[ ("batch", string_of_int batch) ]
+  @@ fun () ->
   let units = Dataflow.units ctx in
   if Partition.total_units group <> Unit_gen.unit_count units then
     invalid_arg "Scheduler.build: group does not cover the decomposition";
@@ -372,7 +375,9 @@ let build ?faults ctx group ~batch ?(chunks = 4) () =
   }
 
 let simulate ctx t =
+  Compass_util.Trace.with_span "sim.run" @@ fun () ->
   Sim.run (Dataflow.units ctx).Unit_gen.chip t.programs
 
 let dram_stats _ctx (result : Sim.result) =
+  Compass_util.Trace.with_span "dram.replay" @@ fun () ->
   Compass_dram.Dram.simulate result.Sim.dram_trace

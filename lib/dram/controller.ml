@@ -29,6 +29,7 @@ type stats = {
   row_misses : int;
   activates : int;
   refreshes : int;
+  bus_stall_cycles : int;
   energy_j : float;
   background_j : float;
 }
@@ -53,6 +54,7 @@ type cursor = {
   mutable row_misses : int;
   mutable activates : int;
   mutable refreshes : int;
+  mutable bus_stall_cycles : int;
 }
 
 let create_cursor timing mapping =
@@ -70,6 +72,7 @@ let create_cursor timing mapping =
     row_misses = 0;
     activates = 0;
     refreshes = 0;
+    bus_stall_cycles = 0;
   }
 
 (* Address mapping policies (DRAMsim3's address-mapping strings). *)
@@ -109,6 +112,8 @@ let burst cur ~bank ~row ~write =
   if outcome.Bank.activated then cur.activates <- cur.activates + 1;
   if write then cur.writes <- cur.writes + 1 else cur.reads <- cur.reads + 1;
   let data_start = max outcome.Bank.data_cycle cur.data_bus_free in
+  (* Cycles the burst's data sat ready behind an occupied data bus. *)
+  cur.bus_stall_cycles <- cur.bus_stall_cycles + (data_start - outcome.Bank.data_cycle);
   let data_end = data_start + Timing.burst_cycles g in
   cur.data_bus_free <- data_end;
   cur.last_data_end <- max cur.last_data_end data_end;
@@ -140,6 +145,16 @@ let run ?(timing = Timing.lpddr3_1600) ?(energy = default_energy)
     +. (float_of_int cur.refreshes *. energy.refresh_j)
   in
   let background_j = seconds *. energy.background_w in
+  if Compass_util.Metrics.enabled () then begin
+    let m = Compass_util.Metrics.incr in
+    m ~by:cur.reads "dram.reads";
+    m ~by:cur.writes "dram.writes";
+    m ~by:cur.row_hits "dram.row_hits";
+    m ~by:cur.row_misses "dram.row_misses";
+    m ~by:cur.activates "dram.activates";
+    m ~by:cur.refreshes "dram.refreshes";
+    m ~by:cur.bus_stall_cycles "dram.bus_stall_cycles"
+  end;
   {
     cycles;
     seconds;
@@ -150,6 +165,7 @@ let run ?(timing = Timing.lpddr3_1600) ?(energy = default_energy)
     row_misses = cur.row_misses;
     activates = cur.activates;
     refreshes = cur.refreshes;
+    bus_stall_cycles = cur.bus_stall_cycles;
     energy_j = dynamic +. background_j;
     background_j;
   }

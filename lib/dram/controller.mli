@@ -34,6 +34,9 @@ type stats = {
   row_misses : int;
   activates : int;
   refreshes : int;
+  bus_stall_cycles : int;
+      (** Cycles bursts spent waiting for the shared data bus after their
+          bank was ready. *)
   energy_j : float;
   background_j : float;
 }

@@ -279,6 +279,27 @@ let run ?(fault_events = []) chip programs =
       drain ()
   in
   drain ();
+  (* Instruction counters are derived from the event log after the drain —
+     one flush per run, nothing on the per-instruction hot path. *)
+  if Compass_util.Metrics.enabled () then begin
+    let per_core = Hashtbl.create 16 and per_label = Hashtbl.create 8 in
+    let bump tbl key =
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+    in
+    List.iter
+      (fun e ->
+        bump per_core e.core;
+        bump per_label e.label)
+      !events_rev;
+    Compass_util.Metrics.incr ~by:(List.length !events_rev) "sim.instrs";
+    Hashtbl.iter
+      (fun c n -> Compass_util.Metrics.incr ~by:n (Printf.sprintf "sim.core.%d.instrs" c))
+      per_core;
+    Hashtbl.iter
+      (fun label n -> Compass_util.Metrics.incr ~by:n ("sim.instr." ^ label))
+      per_label;
+    Compass_util.Metrics.incr ~by:!dropped "sim.dropped_instructions"
+  end;
   let makespan = List.fold_left (fun acc c -> max acc c.time) 0. cores in
   let dram_trace = List.rev shared.trace_rev in
   let dram_bytes = shared.weight_bytes +. shared.load_bytes +. shared.store_bytes in

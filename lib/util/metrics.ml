@@ -1,0 +1,121 @@
+(* Typed counters and gauges, recorded into per-domain tables.
+
+   Counters are integer sums, so merging domain-local tables is
+   associative and commutative — the snapshot is independent of worker
+   count and scheduling (a property test pins this).  Gauges are floats
+   with last-write-wins semantics, ordered by a global set-sequence so
+   the merge is deterministic even when two domains set the same gauge.
+
+   Disabled (the default), every entry point is one atomic load. *)
+
+type value =
+  | Int of int
+  | Float of float
+
+type entry =
+  | Counter of int ref
+  | Gauge of (int * float) ref  (* set-sequence, value *)
+
+type buf = { table : (string, entry) Hashtbl.t }
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let env_truthy name =
+  match Sys.getenv_opt name with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let on = Atomic.make (env_truthy "COMPASS_METRICS")
+let gauge_seq = Atomic.make 0
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { table = Hashtbl.create 64 } in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun b -> Hashtbl.reset b.table) !registry;
+  Mutex.unlock registry_mutex
+
+let incr ?(by = 1) name =
+  if Atomic.get on then begin
+    let b = buffer () in
+    match Hashtbl.find_opt b.table name with
+    | Some (Counter r) -> r := !r + by
+    | Some (Gauge _) ->
+      invalid_arg (Printf.sprintf "Metrics.incr: %s is a gauge" name)
+    | None -> Hashtbl.add b.table name (Counter (ref by))
+  end
+
+let set name v =
+  if Atomic.get on then begin
+    let b = buffer () in
+    let seq = Atomic.fetch_and_add gauge_seq 1 in
+    match Hashtbl.find_opt b.table name with
+    | Some (Gauge r) -> r := (seq, v)
+    | Some (Counter _) ->
+      invalid_arg (Printf.sprintf "Metrics.set: %s is a counter" name)
+    | None -> Hashtbl.add b.table name (Gauge (ref (seq, v)))
+  end
+
+let snapshot () =
+  let bufs =
+    Mutex.lock registry_mutex;
+    let bs = !registry in
+    Mutex.unlock registry_mutex;
+    bs
+  in
+  let merged : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name e ->
+          match (Hashtbl.find_opt merged name, e) with
+          | None, Counter r -> Hashtbl.replace merged name (Counter (ref !r))
+          | None, Gauge r -> Hashtbl.replace merged name (Gauge (ref !r))
+          | Some (Counter acc), Counter r -> acc := !acc + !r
+          | Some (Gauge acc), Gauge r ->
+            let sa, _ = !acc and sr, _ = !r in
+            if sr > sa then acc := !r
+          | Some _, _ ->
+            invalid_arg
+              (Printf.sprintf "Metrics.snapshot: %s is both counter and gauge" name))
+        b.table)
+    bufs;
+  Hashtbl.fold
+    (fun name e acc ->
+      let v = match e with Counter r -> Int !r | Gauge r -> Float (snd !r) in
+      (name, v) :: acc)
+    merged []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find name = List.assoc_opt name (snapshot ())
+
+let find_int name =
+  match find name with
+  | Some (Int n) -> Some n
+  | Some (Float _) | None -> None
+
+let value_to_string = function
+  | Int n -> string_of_int n
+  | Float v -> Printf.sprintf "%.6g" v
+
+let to_table () =
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right ] [ "metric"; "value" ]
+  in
+  List.iter
+    (fun (name, v) -> Table.add_row t [ name; value_to_string v ])
+    (snapshot ());
+  t

@@ -1,0 +1,43 @@
+(** Typed counters and gauges with per-domain buffers.
+
+    Counters are integer sums; because addition is associative and
+    commutative, the merged {!snapshot} is independent of how increments
+    were distributed across {!Pool} worker domains.  Gauges are floats
+    with last-write-wins semantics (a global set-sequence makes the merge
+    deterministic).  A name is permanently one kind or the other; mixing
+    raises [Invalid_argument].
+
+    Disabled — the default, unless the [COMPASS_METRICS] environment
+    variable is set to anything other than ["0"] or the empty string —
+    every entry point is a single atomic load and records nothing.
+    Metrics are pure observation and never feed back into the
+    computation.  The metric-name catalogue lives in docs/FORMATS.md. *)
+
+type value =
+  | Int of int  (** counter *)
+  | Float of float  (** gauge *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded values (all domains).  Call only while no worker
+    domain is inside an instrumented region. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter, creating it at 0 first. *)
+
+val set : string -> float -> unit
+(** Set a gauge; the latest set (across all domains) wins. *)
+
+val snapshot : unit -> (string * value) list
+(** All metrics merged across domain buffers, sorted by name. *)
+
+val find : string -> value option
+val find_int : string -> int option
+
+val value_to_string : value -> string
+
+val to_table : unit -> Table.t
+(** {!snapshot} as a two-column table. *)

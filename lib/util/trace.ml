@@ -1,0 +1,212 @@
+(* Structured tracing: nested spans recorded into per-domain buffers.
+
+   Disabled (the default) the entire subsystem is one atomic load per
+   call site; enabled, each span records a Begin/End event pair into the
+   calling domain's buffer (no locking on the hot path).  Buffers are
+   registered globally on first use, so events written by pool worker
+   domains are merged at export time — the pool's phase join publishes
+   them before the main domain reads.
+
+   Timestamps come from an injectable clock (tests pin golden output
+   with a fake one) and are monotonized per buffer, so a wall-clock step
+   back never produces a span that ends before it starts. *)
+
+type phase =
+  | Begin
+  | End
+
+type event = {
+  name : string;
+  phase : phase;
+  ts : float;  (* seconds since [enable] on the trace clock *)
+  tid : int;
+  args : (string * string) list;
+}
+
+type buf = {
+  tid : int;
+  mutable events : event list;  (* newest first *)
+  mutable last_ts : float;
+}
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let env_truthy name =
+  match Sys.getenv_opt name with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let on = Atomic.make (env_truthy "COMPASS_TRACE")
+let clock = ref Unix.gettimeofday
+let base = ref (Unix.gettimeofday ())
+
+let enabled () = Atomic.get on
+
+let enable ?clock:(c = Unix.gettimeofday) () =
+  clock := c;
+  base := c ();
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { tid = (Domain.self () :> int); events = []; last_ts = 0. } in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun b ->
+      b.events <- [];
+      b.last_ts <- 0.)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let record b phase name args =
+  let raw = !clock () -. !base in
+  let ts = if raw > b.last_ts then raw else b.last_ts in
+  b.last_ts <- ts;
+  b.events <- { name; phase; ts; tid = b.tid; args } :: b.events
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let b = buffer () in
+    record b Begin name args;
+    Fun.protect ~finally:(fun () -> record b End name []) f
+  end
+
+(* Merged event list: each buffer chronologically, buffers interleaved by
+   timestamp (stable, so same-timestamp events keep their buffer order). *)
+let events () =
+  let bufs =
+    Mutex.lock registry_mutex;
+    let bs = List.sort (fun a b -> compare a.tid b.tid) !registry in
+    Mutex.unlock registry_mutex;
+    bs
+  in
+  let all = List.concat_map (fun b -> List.rev b.events) bufs in
+  List.stable_sort (fun a b -> compare a.ts b.ts) all
+
+(* Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev).  Field
+   names and their order are pinned by the golden test in test_trace.ml:
+   name, cat, ph, ts, pid, tid, then args only when present. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_to_json e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"compass\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d"
+       (json_escape e.name)
+       (match e.phase with Begin -> "B" | End -> "E")
+       (e.ts *. 1e6) e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      e.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b (event_to_json e))
+    (events ());
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let save_chrome path = Artifact.write_atomic path (to_chrome_json ())
+
+(* Per-name aggregation for the text summary: count, total and max span
+   duration, computed with a per-buffer stack walk (nesting is a stack
+   discipline within one buffer by construction). *)
+type span_stat = {
+  span_name : string;
+  count : int;
+  total_s : float;
+  max_s : float;
+}
+
+let summarize () =
+  let stats : (string, int * float * float) Hashtbl.t = Hashtbl.create 32 in
+  let bufs =
+    Mutex.lock registry_mutex;
+    let bs = !registry in
+    Mutex.unlock registry_mutex;
+    bs
+  in
+  List.iter
+    (fun b ->
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          match e.phase with
+          | Begin -> stack := (e.name, e.ts) :: !stack
+          | End -> (
+            match !stack with
+            | (name, t0) :: rest when name = e.name ->
+              stack := rest;
+              let d = e.ts -. t0 in
+              let count, total, mx =
+                Option.value ~default:(0, 0., 0.) (Hashtbl.find_opt stats name)
+              in
+              Hashtbl.replace stats name (count + 1, total +. d, max mx d)
+            | _ -> ()))
+        (List.rev b.events))
+    bufs;
+  Hashtbl.fold
+    (fun span_name (count, total_s, max_s) acc ->
+      { span_name; count; total_s; max_s } :: acc)
+    stats []
+  |> List.sort (fun a b -> compare (b.total_s, a.span_name) (a.total_s, b.span_name))
+
+let summary_table () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "span"; "count"; "total"; "mean"; "max" ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.span_name;
+          string_of_int s.count;
+          Units.time_to_string s.total_s;
+          Units.time_to_string (s.total_s /. float_of_int (max 1 s.count));
+          Units.time_to_string s.max_s;
+        ])
+    (summarize ());
+  t

@@ -51,6 +51,36 @@ let test_resume_bit_identical () =
         (tag ^ "same generations") full.Ga.generations_run resumed.Ga.generations_run)
     !checkpoints
 
+let test_checkpoint_stream_unchanged_by_tracing () =
+  (* The serialized checkpoint stream — RNG state, floats, everything —
+     must be byte-identical with tracing and metrics enabled: the
+     observability layer rides along without touching the search. *)
+  let _, v, ctx = setup "lenet5" Config.chip_s in
+  let capture () =
+    let texts = ref [] in
+    ignore
+      (Ga.optimize ~params
+         ~on_checkpoint:(fun ck -> texts := Plan_text.checkpoint_to_string ck :: !texts)
+         ctx v ~batch:4);
+    List.rev !texts
+  in
+  let untraced = capture () in
+  let open Compass_util in
+  Trace.reset ();
+  Metrics.reset ();
+  Trace.enable ();
+  Metrics.enable ();
+  let traced =
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.disable ();
+        Metrics.disable ();
+        Trace.reset ();
+        Metrics.reset ())
+      capture
+  in
+  Alcotest.(check (list string)) "byte-identical checkpoint stream" untraced traced
+
 let test_resume_jobs_agnostic () =
   (* Resuming with a different worker count must not change the result. *)
   let _, v, ctx = setup "lenet5" Config.chip_s in
@@ -228,6 +258,8 @@ let () =
           Alcotest.test_case "bit-identical resume (golden)" `Quick
             test_resume_bit_identical;
           Alcotest.test_case "jobs-agnostic resume" `Quick test_resume_jobs_agnostic;
+          Alcotest.test_case "checkpoint stream unchanged by tracing" `Quick
+            test_checkpoint_stream_unchanged_by_tracing;
           Alcotest.test_case "rejects wrong model/batch" `Quick
             test_resume_rejects_wrong_model;
         ] );

@@ -83,6 +83,56 @@ echo "garbage" >"$TMP/bad.ck"
 expect_exit 2 "corrupt checkpoint resume" "$CLI" compile -m lenet5 --quick \
   --resume "$TMP/bad.ck"
 
+# --- observability: --trace / --metrics ---
+expect_exit 0 "compile with trace+metrics" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --simulate --trace "$TMP/trace.json" --metrics
+[ -f "$TMP/trace.json" ] || { echo "FAIL: no trace written" >&2; fails=$((fails + 1)); }
+grep -q '"traceEvents"' "$TMP/trace.json" || {
+  echo "FAIL: trace file lacks the traceEvents wrapper" >&2
+  fails=$((fails + 1))
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$TMP/trace.json" >/dev/null || {
+    echo "FAIL: trace file is not valid JSON" >&2
+    fails=$((fails + 1))
+  }
+fi
+grep -q "ga.generations" "$TMP/out" || {
+  echo "FAIL: --metrics did not print the metrics table" >&2
+  fails=$((fails + 1))
+}
+grep -q "span summary:" "$TMP/out" || {
+  echo "FAIL: --metrics with tracing did not print the span summary" >&2
+  fails=$((fails + 1))
+}
+expect_exit 0 "gap with metrics" "$CLI" gap -m lenet5 -c S -b 4 --quick --metrics
+grep -q "dp.valid_spans" "$TMP/out" || {
+  echo "FAIL: gap --metrics did not print dp counters" >&2
+  fails=$((fails + 1))
+}
+expect_exit 0 "verify with trace" "$CLI" verify --trace "$TMP/vtrace.json" "$TMP/good.plan"
+[ -f "$TMP/vtrace.json" ] || { echo "FAIL: verify wrote no trace" >&2; fails=$((fails + 1)); }
+
+# --- exit 2: unwritable output paths are located, actionable, pre-checked ---
+expect_exit 2 "unwritable --trace" "$CLI" compile -m lenet5 --quick \
+  --trace /nonexistent/trace.json
+expect_stderr_line_count "unwritable --trace"
+grep -q -- "--trace /nonexistent/trace.json: directory /nonexistent does not exist" \
+  "$TMP/err" || {
+  echo "FAIL: --trace diagnostic not located" >&2
+  fails=$((fails + 1))
+}
+expect_exit 2 "unwritable --checkpoint" "$CLI" compile -m lenet5 --quick \
+  --checkpoint /nonexistent/ck.txt
+expect_stderr_line_count "unwritable --checkpoint"
+grep -q -- "--checkpoint /nonexistent/ck.txt: directory /nonexistent does not exist" \
+  "$TMP/err" || {
+  echo "FAIL: --checkpoint diagnostic not located" >&2
+  fails=$((fails + 1))
+}
+expect_exit 2 "--trace to a directory" "$CLI" compile -m lenet5 --quick --trace "$TMP"
+expect_stderr_line_count "--trace to a directory"
+
 # --- exit 3: internal invariant failure carries a bug-report hint ---
 COMPASS_INTERNAL_FAULT=1 "$CLI" compile -m lenet5 --quick >"$TMP/out" 2>"$TMP/err"
 got=$?

@@ -158,6 +158,41 @@ let test_golden_ga_unchanged () =
   Alcotest.(check int) "generations" golden_generations r.Ga.generations_run;
   Alcotest.(check int) "cache spans" golden_cache_spans r.Ga.cache_spans
 
+let test_golden_ga_traced_unchanged () =
+  (* Observability is pure observation: with tracing and metrics enabled
+     the GA must walk the bit-identical trajectory as the untraced golden
+     run — same fitness, cuts, evaluation and generation counts. *)
+  let open Compass_util in
+  Trace.reset ();
+  Metrics.reset ();
+  Trace.enable ();
+  Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Metrics.disable ();
+      Trace.reset ();
+      Metrics.reset ())
+    (fun () ->
+      let _, v, ctx = setup "resnet18" Config.chip_s in
+      let r = Ga.optimize ~params:{ Ga.quick_params with Ga.seed = 5 } ctx v ~batch:16 in
+      Alcotest.(check (float 0.)) "fitness" golden_fitness r.Ga.best.Ga.fitness;
+      Alcotest.(check (list int)) "cuts" golden_cuts
+        (Array.to_list (Partition.cuts r.Ga.best.Ga.group));
+      Alcotest.(check int) "evaluations" golden_evaluations r.Ga.evaluations;
+      Alcotest.(check int) "generations" golden_generations r.Ga.generations_run;
+      Alcotest.(check int) "cache spans" golden_cache_spans r.Ga.cache_spans;
+      (* The instrumentation itself observed the run it rode along with. *)
+      Alcotest.(check (option int)) "fitness evaluations counted"
+        (Some golden_evaluations)
+        (Metrics.find_int "ga.fitness_evaluations");
+      Alcotest.(check (option int)) "generations counted" (Some golden_generations)
+        (Metrics.find_int "ga.generations");
+      Alcotest.(check bool) "generation spans recorded" true
+        (List.exists
+           (fun s -> s.Trace.span_name = "ga.generation" && s.Trace.count = golden_generations)
+           (Trace.summarize ())))
+
 let test_warm_start_seeds_population () =
   let _, v, ctx = setup "resnet18" Config.chip_s in
   let dp = Optimal.optimize ctx v ~batch:16 in
@@ -275,6 +310,8 @@ let () =
       ( "warm-start",
         [
           Alcotest.test_case "golden GA line unchanged" `Quick test_golden_ga_unchanged;
+          Alcotest.test_case "golden GA line unchanged under tracing" `Quick
+            test_golden_ga_traced_unchanged;
           Alcotest.test_case "seeded population" `Quick test_warm_start_seeds_population;
         ] );
       ( "compiler",
