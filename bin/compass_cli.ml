@@ -240,6 +240,24 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
+let recover_arg =
+  let doc =
+    "Execute one inference under the fault scenario with self-healing \
+     enabled: ABFT column checksums verify every MVM, transient faults are \
+     retried with backoff, persistent ones retire the faulty core and remap \
+     to spare capacity.  Prints the escalation log and whether the recovered \
+     output is bit-identical to the fault-free reference."
+  in
+  Arg.(value & flag & info [ "recover" ] ~doc)
+
+let fault_at_arg =
+  let doc =
+    "Fail-stop drill (requires $(b,--faults)): inject the scenario's dead \
+     cores into a simulation of the compiled schedule at $(docv) seconds, \
+     then repair the plan and measure the recovered schedule."
+  in
+  Arg.(value & opt (some float) None & info [ "fault-at" ] ~docv:"SECONDS" ~doc)
+
 let compile_cmd =
   let save_arg =
     Arg.(
@@ -271,7 +289,8 @@ let compile_cmd =
              violation here is a compass bug and exits 3.")
   in
   let run model chip batch scheme objective seed jobs simulate quick save tech faults
-      fault_seed warm_start deadline checkpoint resume verify trace metrics =
+      fault_seed warm_start deadline checkpoint resume verify recover fault_at trace
+      metrics =
    guard @@ fun () ->
     Option.iter (fun path -> ensure_writable ~flag:"--checkpoint" path) checkpoint;
     Option.iter (fun path -> ensure_writable ~flag:"--save" path) save;
@@ -330,6 +349,48 @@ let compile_cmd =
       Format.printf "simulated energy:@.";
       Compass_arch.Energy.pp_breakdown Format.std_formatter
         m.Compiler.sim.Compass_isa.Sim.energy_components
+    end;
+    (match fault_at with
+    | None -> ()
+    | Some at_s -> (
+      let faults =
+        match faults with
+        | Some f -> f
+        | None -> invalid_arg "--fault-at needs --faults (the scenario to inject)"
+      in
+      match Compiler.measure_with_faults plan ~at_s ~faults with
+      | Error msg -> invalid_arg ("fault drill: " ^ msg)
+      | Ok fr ->
+        Format.printf
+          "@.fault drill at %s: interrupted batch drained in %s (%d instructions \
+           dropped)@."
+          (Compass_util.Units.time_to_string at_s)
+          (Compass_util.Units.time_to_string
+             fr.Compiler.faulted_sim.Compass_isa.Sim.makespan_s)
+          fr.Compiler.faulted_sim.Compass_isa.Sim.dropped_instructions;
+        Format.printf "repair: %s, latency %s -> %s (x%.2f)@."
+          (match fr.Compiler.repair.Compiler.strategy with
+          | Compiler.Unchanged -> "mapping moved"
+          | Compiler.Remapped n -> Printf.sprintf "%d spans re-split" n
+          | Compiler.Recompiled -> "recompiled")
+          (Compass_util.Units.time_to_string fr.Compiler.repair.Compiler.latency_before_s)
+          (Compass_util.Units.time_to_string fr.Compiler.repair.Compiler.latency_after_s)
+          fr.Compiler.repair.Compiler.degradation;
+        Format.printf "recovery latency (drain + repaired batch): %s@."
+          (Compass_util.Units.time_to_string fr.Compiler.recovery_latency_s)));
+    if recover then begin
+      let weights = Compass_nn.Executor.random_weights model in
+      let input = Compass_nn.Executor.random_input model in
+      let r = Recovery.run ~seed:fault_seed ~weights ~input plan in
+      Format.printf "@.%a@." Recovery.pp_report r;
+      List.iter (fun a -> Format.printf "  %a@." Recovery.pp_action a) r.Recovery.actions;
+      if r.Recovery.bit_identical then
+        Format.printf "recovered output is bit-identical to the fault-free reference@."
+      else
+        Format.printf
+          "warning: recovered output DIFFERS from the fault-free reference \
+           (%d layer(s) degraded)@."
+          r.Recovery.degraded_layers
     end
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile one workload with one scheme")
@@ -337,7 +398,7 @@ let compile_cmd =
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
       $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg
       $ faults_arg $ fault_seed_arg $ warm_start_arg $ deadline_arg $ checkpoint_arg
-      $ resume_arg $ verify_flag $ trace_arg $ metrics_arg)
+      $ resume_arg $ verify_flag $ recover_arg $ fault_at_arg $ trace_arg $ metrics_arg)
 
 (* plan: reload an archived plan *)
 

@@ -7,7 +7,10 @@
    2. *repair* an existing plan when a chip degrades in the field
       (`Compiler.repair`, `Compiler.measure_with_faults`),
    3. account for write endurance and project device lifetime
-      (`Report.endurance_table`, the `wear` objective).
+      (`Report.endurance_table`, the `wear` objective),
+   4. *self-heal* at inference time: ABFT checksums detect corrupted
+      cells, transients are retried, persistents remapped to spare
+      capacity (`Inject`, `Abft`, `Recovery`).
 
    Run with:  dune exec examples/fault_tolerance.exe *)
 
@@ -95,4 +98,37 @@ let () =
   Compass_util.Table.print (Report.endurance_table [ plan ]);
   print_endline
     "\nto trade latency for lifetime, search with the wear objective:\n\
-     Compiler.compile ~objective:Fitness.Wear (CLI: --objective wear)"
+     Compiler.compile ~objective:Fitness.Wear (CLI: --objective wear)";
+
+  (* -- 4. Self-healing: detect -> retry -> remap -------------------- *)
+  (* A stored weight bit flips in service. The ABFT checksum row catches
+     it before the layer's MVM (exact integer comparison, zero false
+     negatives); retries fail (the flip is persistent), so the recovery
+     engine retires the faulty core and repairs the plan — after which
+     the output is bit-identical to the fault-free run. *)
+  let weights = Compass_nn.Executor.random_weights model in
+  let input = Compass_nn.Executor.random_input model in
+  let cell_faults =
+    Fault.of_string "flip:1" ~seed:0 ~cores:chip.Config.cores ~macros_per_core:mpc
+  in
+  let r = Recovery.run ~seed:42 ~faults:cell_faults ~weights ~input healthy in
+  Printf.printf "\none persistent bit flip (%d sites realized):\n"
+    (List.length r.Recovery.sites);
+  List.iter (fun a -> Format.printf "  %a@." Recovery.pp_action a) r.Recovery.actions;
+  Format.printf "  %a@." Recovery.pp_report r;
+  Printf.printf "  recovered output bit-identical to fault-free run: %b\n"
+    r.Recovery.bit_identical;
+
+  (* Transients clear on retry alone — no remap, just backoff. *)
+  let transient =
+    Fault.of_string "transient:2" ~seed:0 ~cores:chip.Config.cores ~macros_per_core:mpc
+  in
+  let rt = Recovery.run ~seed:42 ~faults:transient ~weights ~input healthy in
+  Printf.printf
+    "two transient stuck-at cells: %d detected, %d retries, %d remaps, \
+     bit-identical %b (backoff %s)\n"
+    rt.Recovery.detections rt.Recovery.retries rt.Recovery.remaps
+    rt.Recovery.bit_identical
+    (Compass_util.Units.time_to_string rt.Recovery.backoff_total_s);
+  print_endline
+    "from the CLI: compass compile --faults 'flip:1' --recover --metrics"

@@ -6,9 +6,12 @@ type core_status =
 type t = {
   statuses : core_status array;
   endurance_budget : float option;
+  transient_cells : int;
+  weight_flips : int;
+  drift : float option;
 }
 
-let make ?endurance_budget statuses =
+let make ?endurance_budget ?(transient_cells = 0) ?(weight_flips = 0) ?drift statuses =
   Array.iteri
     (fun c status ->
       match status with
@@ -20,11 +23,23 @@ let make ?endurance_budget statuses =
   (match endurance_budget with
   | Some b when b <= 0. -> invalid_arg "Fault.make: non-positive endurance budget"
   | _ -> ());
-  { statuses = Array.copy statuses; endurance_budget }
+  if transient_cells < 0 then invalid_arg "Fault.make: negative transient cell count";
+  if weight_flips < 0 then invalid_arg "Fault.make: negative weight-flip count";
+  (match drift with
+  | Some d when (not (d > 0.)) || d > 1. ->
+    invalid_arg "Fault.make: drift must be in (0, 1]"
+  | _ -> ());
+  { statuses = Array.copy statuses; endurance_budget; transient_cells; weight_flips; drift }
 
 let healthy ~cores =
   if cores <= 0 then invalid_arg "Fault.healthy: non-positive core count";
-  { statuses = Array.make cores Healthy; endurance_budget = None }
+  {
+    statuses = Array.make cores Healthy;
+    endurance_budget = None;
+    transient_cells = 0;
+    weight_flips = 0;
+    drift = None;
+  }
 
 let cores t = Array.length t.statuses
 
@@ -54,8 +69,15 @@ let degraded_count t =
     (fun acc s -> match s with Degraded _ -> acc + 1 | _ -> acc)
     0 t.statuses
 
+let transient_cells t = t.transient_cells
+let weight_flips t = t.weight_flips
+let drift t = t.drift
+let has_cell_faults t = t.transient_cells > 0 || t.weight_flips > 0 || t.drift <> None
+
 let is_trivial t =
-  t.endurance_budget = None && Array.for_all (fun s -> s = Healthy) t.statuses
+  t.endurance_budget = None
+  && (not (has_cell_faults t))
+  && Array.for_all (fun s -> s = Healthy) t.statuses
 
 (* Textual scenario description; [realize] turns it into a concrete [t].
    Grammar (see docs/FORMATS.md):
@@ -64,7 +86,10 @@ let is_trivial t =
      clause  := "dead"     ':' int (',' int)*
               | "degraded" ':' int '=' int (',' int '=' int)*
               | "random"   ':' kind '=' int (',' kind '=' int)*   kind := dead|degraded
-              | "endurance" ':' float                              (writes per macro) *)
+              | "endurance" ':' float                              (writes per macro)
+              | "transient" ':' int      (stuck-at cells that clear on retry)
+              | "flip"      ':' int      (persistent single-bit weight flips)
+              | "drift"     ':' float    (conductance drift rate, (0,1]) *)
 
 type spec = {
   spec_dead : int list;
@@ -72,6 +97,9 @@ type spec = {
   spec_random_dead : int;
   spec_random_degraded : int;
   spec_endurance : float option;
+  spec_transient : int;
+  spec_flip : int;
+  spec_drift : float option;
 }
 
 let empty_spec =
@@ -81,6 +109,9 @@ let empty_spec =
     spec_random_dead = 0;
     spec_random_degraded = 0;
     spec_endurance = None;
+    spec_transient = 0;
+    spec_flip = 0;
+    spec_drift = None;
   }
 
 let fail_spec fmt = Printf.ksprintf (fun msg -> invalid_arg ("Fault.parse: " ^ msg)) fmt
@@ -141,12 +172,26 @@ let parse spec =
               match float_of_string_opt (String.trim value) with
               | Some b when b > 0. -> { acc with spec_endurance = Some b }
               | _ -> fail_spec "bad endurance %S (expected a positive number)" value)
+            | "transient" ->
+              { acc with spec_transient = acc.spec_transient + parse_int "transient count" value }
+            | "flip" -> { acc with spec_flip = acc.spec_flip + parse_int "flip count" value }
+            | "drift" -> (
+              match float_of_string_opt (String.trim value) with
+              | Some d when d > 0. && d <= 1. -> { acc with spec_drift = Some d }
+              | _ -> fail_spec "bad drift %S (expected a rate in (0, 1])" value)
             | other -> fail_spec "unknown clause %S" other))
       empty_spec
       (String.split_on_char ';' spec)
 
 let spec_to_string s =
   let clauses = ref [] in
+  (match s.spec_drift with
+  (* Full precision, not %g: same round-trip requirement as endurance. *)
+  | Some d -> clauses := ("drift:" ^ Compass_util.Artifact.float_token d) :: !clauses
+  | None -> ());
+  if s.spec_flip > 0 then clauses := Printf.sprintf "flip:%d" s.spec_flip :: !clauses;
+  if s.spec_transient > 0 then
+    clauses := Printf.sprintf "transient:%d" s.spec_transient :: !clauses;
   (match s.spec_endurance with
   (* Full precision, not %g: the spec must round-trip the exact budget or
      a reloaded plan computes a different projected lifetime. *)
@@ -215,7 +260,8 @@ let realize spec ~seed ~cores ~macros_per_core =
           statuses.(c) <- if k >= macros_per_core then Dead else Degraded k)
       picks
   end;
-  make ?endurance_budget:spec.spec_endurance statuses
+  make ?endurance_budget:spec.spec_endurance ~transient_cells:spec.spec_transient
+    ~weight_flips:spec.spec_flip ?drift:spec.spec_drift statuses
 
 let of_string spec ~seed ~cores ~macros_per_core =
   realize (parse spec) ~seed ~cores ~macros_per_core
@@ -236,6 +282,9 @@ let to_spec t =
     spec_dead = List.rev !dead;
     spec_degraded = List.rev !degraded;
     spec_endurance = t.endurance_budget;
+    spec_transient = t.transient_cells;
+    spec_flip = t.weight_flips;
+    spec_drift = t.drift;
   }
 
 let to_string t = spec_to_string (to_spec t)
@@ -247,7 +296,13 @@ let pp ppf t =
     let usable = n - dead_count t in
     Format.fprintf ppf "faults: %d dead, %d degraded (%d/%d cores usable)" (dead_count t)
       (degraded_count t) usable n;
-    match t.endurance_budget with
+    (match t.endurance_budget with
     | Some b -> Format.fprintf ppf ", endurance %g writes/macro" b
+    | None -> ());
+    if t.transient_cells > 0 then
+      Format.fprintf ppf ", %d transient cell(s)" t.transient_cells;
+    if t.weight_flips > 0 then Format.fprintf ppf ", %d weight flip(s)" t.weight_flips;
+    match t.drift with
+    | Some d -> Format.fprintf ppf ", drift %g" d
     | None -> ()
   end

@@ -18,9 +18,24 @@ type t
     [Array.length statuses] cores. The array is copied.
     @param endurance_budget
       remaining writes per macro before wear-out (e.g. ReRAM ~1e6).
+    @param transient_cells
+      number of stuck-at crossbar cells that clear on retry (runtime
+      transients; sites are realized by [Compass_core.Inject]).
+    @param weight_flips
+      number of persistent single-bit weight-code flips.
+    @param drift
+      conductance-drift rate in (0, 1]: the fraction of cells whose
+      stored code is displaced by one level (persistent).
     @raise Invalid_argument
-      on [Degraded k] with [k < 1] or a non-positive budget. *)
-val make : ?endurance_budget:float -> core_status array -> t
+      on [Degraded k] with [k < 1], a non-positive budget, negative
+      cell-fault counts, or a drift rate outside (0, 1]. *)
+val make :
+  ?endurance_budget:float ->
+  ?transient_cells:int ->
+  ?weight_flips:int ->
+  ?drift:float ->
+  core_status array ->
+  t
 
 (** All-healthy scenario with no endurance budget ([is_trivial] holds). *)
 val healthy : cores:int -> t
@@ -39,8 +54,22 @@ val total_capacity : t -> macros_per_core:int -> int
 val dead_count : t -> int
 val degraded_count : t -> int
 
-(** True iff every core is healthy and there is no endurance budget —
-    the scenario does not constrain compilation at all. *)
+(** Requested stuck-at cell count (clear on retry). *)
+val transient_cells : t -> int
+
+(** Requested persistent single-bit weight-flip count. *)
+val weight_flips : t -> int
+
+(** Conductance-drift rate in (0, 1], if any. *)
+val drift : t -> float option
+
+(** True iff the scenario carries runtime cell faults (transient,
+    flip, or drift) that {!Compass_core.Inject} must realize. *)
+val has_cell_faults : t -> bool
+
+(** True iff every core is healthy, there is no endurance budget, and
+    no cell faults — the scenario does not constrain compilation at
+    all. *)
 val is_trivial : t -> bool
 
 (** {1 Textual fault specs}
@@ -52,6 +81,9 @@ val is_trivial : t -> bool
            | "degraded"  ':' core '=' k (',' core '=' k)*
            | "random"    ':' kind '=' n (',' kind '=' n)*    kind := dead | degraded
            | "endurance" ':' budget
+           | "transient" ':' n
+           | "flip"      ':' n
+           | "drift"     ':' rate
     v}
     Fixed [dead]/[degraded] clauses name cores explicitly; [random]
     clauses draw distinct victims among the remaining healthy cores using

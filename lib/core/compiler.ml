@@ -137,11 +137,11 @@ type measurement = {
   dram : Compass_dram.Controller.stats;
 }
 
-let schedule ?chunks t =
-  Scheduler.build ?faults:t.faults t.ctx t.group ~batch:t.batch ?chunks ()
+let schedule ?chunks ?abft t =
+  Scheduler.build ?faults:t.faults ?abft t.ctx t.group ~batch:t.batch ?chunks ()
 
-let measure ?chunks t =
-  let sched = schedule ?chunks t in
+let measure ?chunks ?abft t =
+  let sched = schedule ?chunks ?abft t in
   let sim = Scheduler.simulate t.ctx sched in
   let dram = Scheduler.dram_stats t.ctx sim in
   { schedule = sched; sim; dram }
@@ -233,7 +233,7 @@ let measure_with_faults ?chunks ?ga_params ?recompile_above t ~at_s ~faults =
     let fault_events =
       List.init t.chip.Compass_arch.Config.cores (fun c ->
           match Compass_arch.Fault.status faults c with
-          | Compass_arch.Fault.Dead -> Some { Compass_isa.Sim.at_s; victim = c }
+          | Compass_arch.Fault.Dead -> Some (Compass_isa.Sim.fail_stop ~at_s ~victim:c)
           | Compass_arch.Fault.Healthy | Compass_arch.Fault.Degraded _ -> None)
       |> List.filter_map Fun.id
     in

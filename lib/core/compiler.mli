@@ -119,9 +119,12 @@ type measurement = {
   dram : Compass_dram.Controller.stats;
 }
 
-val schedule : ?chunks:int -> t -> Scheduler.t
+val schedule : ?chunks:int -> ?abft:bool -> t -> Scheduler.t
+(** [?abft] (default false) lowers with ABFT [Check] instructions (see
+    {!Scheduler.build}); the plan itself — and therefore saved plan files
+    and checkpoints — is unaffected. *)
 
-val measure : ?chunks:int -> t -> measurement
+val measure : ?chunks:int -> ?abft:bool -> t -> measurement
 (** Lower, simulate and replay the DRAM trace. *)
 
 (** {1 Plan repair under newly observed faults} *)

@@ -11,6 +11,7 @@ type span_perf = {
   bottleneck_s : float;
   fill_s : float;
   compute_s : float;
+  check_s : float;
   unique_weight_bytes : float;
   programmed_bytes : float;
   write_s : float;
@@ -33,10 +34,17 @@ type model_options = {
   onchip_buffering : bool;
   charge_writes : bool;
   faults : Fault.t option;
+  abft : bool;
 }
 
 let default_options =
-  { write_overlap = true; onchip_buffering = true; charge_writes = true; faults = None }
+  {
+    write_overlap = true;
+    onchip_buffering = true;
+    charge_writes = true;
+    faults = None;
+    abft = false;
+  }
 
 type endurance = {
   macro_writes_per_batch : int;
@@ -99,12 +107,29 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
     List.iter (fun (n, r) -> arr.(n) <- r) replication.Replication.per_layer;
     arr
   in
-  (* Compute phase. *)
+  (* Compute phase.  With ABFT on, every layer's per-sample stage gains
+     the checksum verification its primary core runs after each MVM —
+     the same per-MVM op count the scheduler's [Check] emission uses, at
+     one core's VFU rate, so estimate and simulation agree. *)
+  let check_of (p : Perf_model.layer_perf) =
+    if not options.abft then 0.
+    else
+      float_of_int
+        (p.Perf_model.mvms
+        * Abft.check_ops_per_mvm ~macro_ops:p.Perf_model.macro_ops_per_mvm)
+      /. float_of_int chip.Config.core.Config.vfus_per_core
+      /. chip.Config.core.Config.clock_hz
+  in
   let stage_times =
     List.map
       (fun (p : Perf_model.layer_perf) ->
-        (p.Perf_model.node, Perf_model.stage_time_s p ~replication:rep_of.(p.Perf_model.node)))
+        ( p.Perf_model.node,
+          Perf_model.stage_time_s p ~replication:rep_of.(p.Perf_model.node)
+          +. check_of p ))
       layers
+  in
+  let check_s =
+    fbatch *. List.fold_left (fun acc p -> acc +. check_of p) 0. layers
   in
   let cores_used = Mapping.cores_used mapping in
   let attached_ops = Perf_model.attached_vfu_ops ctx io in
@@ -184,13 +209,26 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
            acc +. float_of_int (p.Perf_model.mvms * p.Perf_model.macro_ops_per_mvm))
          0. layers
   in
+  let check_ops =
+    if not options.abft then 0.
+    else
+      fbatch
+      *. List.fold_left
+           (fun acc (p : Perf_model.layer_perf) ->
+             acc
+             +. float_of_int
+                  (p.Perf_model.mvms
+                  * Abft.check_ops_per_mvm ~macro_ops:p.Perf_model.macro_ops_per_mvm))
+           0. layers
+  in
   let vfu_ops =
-    fbatch
-    *. (float_of_int attached_ops
-       +. List.fold_left
-            (fun acc (p : Perf_model.layer_perf) ->
-              acc +. float_of_int (p.Perf_model.mvms * p.Perf_model.vfu_ops_per_mvm))
-            0. layers)
+    check_ops
+    +. fbatch
+       *. (float_of_int attached_ops
+          +. List.fold_left
+               (fun acc (p : Perf_model.layer_perf) ->
+                 acc +. float_of_int (p.Perf_model.mvms * p.Perf_model.vfu_ops_per_mvm))
+               0. layers)
   in
   let dram_bytes = unique_weight_bytes +. io_dram_bytes in
   let bus_bytes = unique_weight_bytes +. io_bytes in
@@ -213,6 +251,7 @@ let span_perf ?(options = default_options) ctx ~batch ~start_ ~stop =
     bottleneck_s;
     fill_s;
     compute_s;
+    check_s;
     unique_weight_bytes;
     programmed_bytes;
     write_s;

@@ -38,6 +38,11 @@ type span_perf = {
   bottleneck_s : float;  (** Slowest per-sample stage (incl. attached VFU). *)
   fill_s : float;  (** Pipeline fill latency. *)
   compute_s : float;  (** Batch compute time. *)
+  check_s : float;
+      (** Total ABFT verification work per batch ([{!model_options.abft}]
+          on; 0 otherwise).  The per-layer share is already folded into
+          [stage_times]/[bottleneck_s], so this field is the overhead
+          report, not an extra latency term. *)
   unique_weight_bytes : float;  (** DRAM traffic for weights. *)
   programmed_bytes : float;  (** Including replicas. *)
   write_s : float;  (** Weight replacement phase, before overlap. *)
@@ -78,6 +83,11 @@ type model_options = {
       (** Fault scenario: replication and mapping use per-core effective
           capacities, and the scenario's endurance budget feeds lifetime
           projection.  [None] (the default) is the pristine chip. *)
+  abft : bool;
+      (** Charge ABFT column-checksum verification on every MVM
+          ({!Abft.check_ops_per_mvm} element ops at the primary core's VFU
+          rate, mirroring the scheduler's [Check] emission).  Off by
+          default. *)
 }
 
 val default_options : model_options

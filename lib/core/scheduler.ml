@@ -95,7 +95,7 @@ let consumer_cores ctx plan node =
     | [] -> [ 0 ])
   | cores -> cores
 
-let build ?faults ctx group ~batch ?(chunks = 4) () =
+let build ?faults ?(abft = false) ctx group ~batch ?(chunks = 4) () =
   if batch < 1 then invalid_arg "Scheduler.build: batch < 1";
   Compass_util.Trace.with_span "schedule.build"
     ~args:[ ("batch", string_of_int batch) ]
@@ -300,6 +300,21 @@ let build ?faults ctx group ~batch ?(chunks = 4) () =
             let vfu_ops = chunk_samples * lp.Perf_model.mvms * lp.Perf_model.vfu_ops_per_mvm in
             if vfu_ops > 0 then emitc primary (Instr.Vfu { ops = vfu_ops }))
           plan.layers;
+        (* ABFT checksum verification per layer, after the merge on the
+           same primary core: results are validated before downstream
+           layers consume them. *)
+        if abft then
+          List.iter
+            (fun (lp : Perf_model.layer_perf) ->
+              let node = lp.Perf_model.node in
+              let primary = Option.value ~default:0 (producer_core ctx plan node) in
+              let ops =
+                chunk_samples * lp.Perf_model.mvms
+                * Abft.check_ops_per_mvm ~macro_ops:lp.Perf_model.macro_ops_per_mvm
+              in
+              if ops > 0 then
+                emitc primary (Instr.Check { ops; tag = Printf.sprintf "P%d.c%d" p k }))
+            plan.layers;
         (* Attached non-crossbar work, charged to its anchor core. *)
         List.iter
           (fun node ->

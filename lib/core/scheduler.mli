@@ -30,6 +30,7 @@ type t = {
 
 val build :
   ?faults:Compass_arch.Fault.t ->
+  ?abft:bool ->
   Dataflow.ctx ->
   Partition.t ->
   batch:int ->
@@ -39,7 +40,11 @@ val build :
 (** [chunks] (default 4, clamped to [batch]) slices the batch for
     pipelined emission.  Under [faults], placement uses per-core effective
     capacities, so dead cores receive no work (they still participate in
-    the chip-wide [Sync] barriers, which are control broadcasts).  Raises
+    the chip-wide [Sync] barriers, which are control broadcasts).
+    [?abft] (default false) emits a [Check] instruction per layer per
+    chunk on the layer's primary core — the ABFT checksum verification of
+    that chunk's MVM results, costed via {!Abft.check_ops_per_mvm} —
+    mirrored by the estimator's [abft] model option.  Raises
     [Invalid_argument] on a group that does not cover the decomposition or
     a non-positive batch. *)
 

@@ -35,14 +35,18 @@ type t =
       token : int;
       parties : int;
     }
+  | Check of {
+      ops : int;
+      tag : string;
+    }
 
 let mvm_count = function
   | Mvm { count; _ } -> count
-  | Weight_write _ | Load _ | Store _ | Vfu _ | Send _ | Recv _ | Sync _ -> 0
+  | Weight_write _ | Load _ | Store _ | Vfu _ | Send _ | Recv _ | Sync _ | Check _ -> 0
 
 let dram_bytes = function
   | Weight_write { bytes; _ } | Load { bytes; _ } | Store { bytes; _ } -> bytes
-  | Mvm _ | Vfu _ | Send _ | Recv _ | Sync _ -> 0.
+  | Mvm _ | Vfu _ | Send _ | Recv _ | Sync _ | Check _ -> 0.
 
 let pp ppf = function
   | Weight_write { macro_count; bytes; addr; tag } ->
@@ -55,3 +59,4 @@ let pp ppf = function
   | Send { bytes; dst; channel } -> Format.fprintf ppf "send %.0fB -> core%d #%d" bytes dst channel
   | Recv { bytes; src; channel } -> Format.fprintf ppf "recv %.0fB <- core%d #%d" bytes src channel
   | Sync { token; parties } -> Format.fprintf ppf "sync #%d (%d parties)" token parties
+  | Check { ops; tag } -> Format.fprintf ppf "check x%d (%s)" ops tag

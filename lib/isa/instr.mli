@@ -45,6 +45,13 @@ type t =
       token : int;
       parties : int;  (** Cores that must arrive before any proceeds. *)
     }
+  | Check of {
+      ops : int;  (** Checksum comparisons (VFU-rate element ops). *)
+      tag : string;
+    }
+      (** ABFT column-checksum verification of the preceding MVM
+          results; a pending transient fault on the core is detected
+          here and charged a retry (re-run of the last [Mvm]). *)
 
 val mvm_count : t -> int
 (** MVM products carried (0 for other instructions). *)

@@ -22,6 +22,7 @@ let kind_name = function
   | Instr.Send _ -> "send"
   | Instr.Recv _ -> "recv"
   | Instr.Sync _ -> "sync"
+  | Instr.Check _ -> "check"
 
 let instruction_mix programs =
   let counts = Hashtbl.create 8 in
@@ -47,7 +48,7 @@ let validate ~cores programs =
         Hashtbl.add sends (channel, p.core_id, dst) bytes
       | Instr.Recv { bytes; src; channel } -> Hashtbl.add recvs (channel, src, p.core_id) bytes
       | Instr.Weight_write _ | Instr.Load _ | Instr.Store _ | Instr.Mvm _ | Instr.Vfu _
-      | Instr.Sync _ ->
+      | Instr.Sync _ | Instr.Check _ ->
         ()
     in
     List.iter (fun p -> List.iter (record p) p.instrs) programs;

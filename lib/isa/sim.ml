@@ -1,9 +1,17 @@
 open Compass_arch
 
+type fault_kind =
+  | Fail_stop
+  | Transient
+
 type fault_event = {
   at_s : float;
   victim : int;
+  kind : fault_kind;
 }
+
+let fail_stop ~at_s ~victim = { at_s; victim; kind = Fail_stop }
+let transient ~at_s ~victim = { at_s; victim; kind = Transient }
 
 type event = {
   core : int;
@@ -27,6 +35,10 @@ type result = {
   events : event list;
   dead_cores : int list;
   dropped_instructions : int;
+  checks_run : int;
+  detections : int;
+  retried_mvms : int;
+  retry_time_s : float;
 }
 
 exception Deadlock of string
@@ -40,12 +52,15 @@ let label_of = function
   | Instr.Send _ -> "send"
   | Instr.Recv _ -> "recv"
   | Instr.Sync _ -> "sync"
+  | Instr.Check _ -> "check"
 
 type core_state = {
   id : int;
   mutable time : float;
   mutable rest : Instr.t list;
   mutable dead : bool;
+  mutable last_mvm_s : float;  (* duration of the most recent Mvm; retry cost *)
+  mutable transients : float list;  (* un-detected transient strike times *)
 }
 
 type barrier = {
@@ -66,6 +81,10 @@ type shared = {
   mutable weight_bytes : float;
   mutable load_bytes : float;
   mutable store_bytes : float;
+  mutable checks_run : int;
+  mutable detections : int;
+  mutable retried_mvms : int;
+  mutable retry_time_s : float;
 }
 
 (* Acquire the bus at or after [t] for a transfer of [bytes]; returns the
@@ -128,13 +147,36 @@ let execute shared core instr =
   | Instr.Mvm { count; tiles; tag = _ } ->
     if count < 0 || tiles <= 0 then invalid_arg "Sim: bad mvm payload";
     shared.mvm_macro_ops <- shared.mvm_macro_ops +. float_of_int (count * tiles);
-    Done (core.time +. (float_of_int count *. xbar.Crossbar.mvm_latency_s))
+    let dur = float_of_int count *. xbar.Crossbar.mvm_latency_s in
+    core.last_mvm_s <- dur;
+    Done (core.time +. dur)
   | Instr.Vfu { ops } ->
     if ops < 0 then invalid_arg "Sim: negative vfu ops";
     shared.vfu_ops <- shared.vfu_ops +. float_of_int ops;
     let lanes = float_of_int chip.Config.core.Config.vfus_per_core in
     let cycles = float_of_int ops /. lanes in
     Done (core.time +. (cycles /. chip.Config.core.Config.clock_hz))
+  | Instr.Check { ops; tag = _ } ->
+    if ops < 0 then invalid_arg "Sim: negative check ops";
+    shared.vfu_ops <- shared.vfu_ops +. float_of_int ops;
+    shared.checks_run <- shared.checks_run + 1;
+    let lanes = float_of_int chip.Config.core.Config.vfus_per_core in
+    let cycles = float_of_int ops /. lanes in
+    let finish = core.time +. (cycles /. chip.Config.core.Config.clock_hz) in
+    (* A transient fault that struck this core before the check completes is
+       caught here: the corrupted MVM re-runs (the cell has cleared), so the
+       check charges one retry of the most recent Mvm on this core. *)
+    let struck, later = List.partition (fun at -> at <= finish) core.transients in
+    if struck = [] then Done finish
+    else begin
+      core.transients <- later;
+      let n = List.length struck in
+      shared.detections <- shared.detections + n;
+      shared.retried_mvms <- shared.retried_mvms + n;
+      let penalty = float_of_int n *. core.last_mvm_s in
+      shared.retry_time_s <- shared.retry_time_s +. penalty;
+      Done (finish +. penalty)
+    end
   | Instr.Send { bytes; dst; channel } ->
     let grant, dur = bus_acquire shared ~t:core.time ~bytes in
     let arrival = grant +. dur in
@@ -203,7 +245,8 @@ let execute_dead shared core instr =
       ignore (Queue.pop q);
       (Done core.time, true)
     | Some _ | None -> (Blocked, true))
-  | Instr.Weight_write _ | Instr.Load _ | Instr.Store _ | Instr.Mvm _ | Instr.Vfu _ ->
+  | Instr.Weight_write _ | Instr.Load _ | Instr.Store _ | Instr.Mvm _ | Instr.Vfu _
+  | Instr.Check _ ->
     (Done core.time, true)
 
 let run ?(fault_events = []) chip programs =
@@ -211,15 +254,25 @@ let run ?(fault_events = []) chip programs =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Sim.run: " ^ msg));
   let kill_time = Hashtbl.create 4 in
-  List.iter
-    (fun e ->
-      if e.at_s < 0. then invalid_arg "Sim.run: negative fault-event time";
+  let transient_hits = Hashtbl.create 4 in
+  List.iteri
+    (fun i e ->
+      if e.at_s < 0. then
+        invalid_arg
+          (Printf.sprintf "Sim.run: fault event #%d has negative time %g s" i e.at_s);
       if e.victim < 0 || e.victim >= chip.Config.cores then
         invalid_arg
-          (Printf.sprintf "Sim.run: fault event for core %d out of range" e.victim);
-      match Hashtbl.find_opt kill_time e.victim with
-      | Some t when t <= e.at_s -> ()
-      | _ -> Hashtbl.replace kill_time e.victim e.at_s)
+          (Printf.sprintf
+             "Sim.run: fault event #%d targets core %d but the chip has cores 0..%d" i
+             e.victim (chip.Config.cores - 1));
+      match e.kind with
+      | Transient ->
+        Hashtbl.replace transient_hits e.victim
+          (e.at_s :: Option.value ~default:[] (Hashtbl.find_opt transient_hits e.victim))
+      | Fail_stop -> (
+        match Hashtbl.find_opt kill_time e.victim with
+        | Some t when t <= e.at_s -> ()
+        | _ -> Hashtbl.replace kill_time e.victim e.at_s))
     fault_events;
   let shared =
     {
@@ -235,11 +288,25 @@ let run ?(fault_events = []) chip programs =
       weight_bytes = 0.;
       load_bytes = 0.;
       store_bytes = 0.;
+      checks_run = 0;
+      detections = 0;
+      retried_mvms = 0;
+      retry_time_s = 0.;
     }
   in
   let cores =
     List.map
-      (fun p -> { id = p.Program.core_id; time = 0.; rest = p.Program.instrs; dead = false })
+      (fun p ->
+        {
+          id = p.Program.core_id;
+          time = 0.;
+          rest = p.Program.instrs;
+          dead = false;
+          last_mvm_s = 0.;
+          transients =
+            List.sort compare
+              (Option.value ~default:[] (Hashtbl.find_opt transient_hits p.Program.core_id));
+        })
       programs
   in
   let events_rev = ref [] in
@@ -298,7 +365,12 @@ let run ?(fault_events = []) chip programs =
     Hashtbl.iter
       (fun label n -> Compass_util.Metrics.incr ~by:n ("sim.instr." ^ label))
       per_label;
-    Compass_util.Metrics.incr ~by:!dropped "sim.dropped_instructions"
+    Compass_util.Metrics.incr ~by:!dropped "sim.dropped_instructions";
+    if shared.checks_run > 0 then begin
+      Compass_util.Metrics.incr ~by:shared.checks_run "sim.checks";
+      Compass_util.Metrics.incr ~by:shared.detections "sim.detections";
+      Compass_util.Metrics.incr ~by:shared.retried_mvms "sim.retried_mvms"
+    end
   end;
   let makespan = List.fold_left (fun acc c -> max acc c.time) 0. cores in
   let dram_trace = List.rev shared.trace_rev in
@@ -329,4 +401,8 @@ let run ?(fault_events = []) chip programs =
     dead_cores =
       List.sort compare (List.filter_map (fun c -> if c.dead then Some c.id else None) cores);
     dropped_instructions = !dropped;
+    checks_run = shared.checks_run;
+    detections = shared.detections;
+    retried_mvms = shared.retried_mvms;
+    retry_time_s = shared.retry_time_s;
   }

@@ -22,15 +22,29 @@ type event = {
   finish_s : float;
 }
 
+type fault_kind =
+  | Fail_stop
+      (** From [at_s] on, the core skips compute and memory instructions
+          at zero cost (counted as dropped) but still participates in
+          barriers and channel handshakes so the rest of the chip drains
+          without deadlock.  An instruction already started when the fault
+          hits completes (fail-stop between instructions). *)
+  | Transient
+      (** A soft strike (stuck-at cell, bit upset) that corrupts MVM
+          results from [at_s] until the next ABFT [Check] on the core
+          detects it; the check then charges one retry — a re-run of the
+          core's most recent [Mvm] — and the fault clears.  Without any
+          [Check] in the program the strike goes undetected and has no
+          timing effect. *)
+
 type fault_event = {
-  at_s : float;  (** Simulated time the core fail-stops (>= 0). *)
+  at_s : float;  (** Simulated strike time (>= 0). *)
   victim : int;  (** Core id. *)
+  kind : fault_kind;
 }
-(** Mid-run core failure: from [at_s] on, the core skips compute and
-    memory instructions at zero cost (they are counted as dropped) but
-    still participates in barriers and channel handshakes so the rest of
-    the chip drains without deadlock.  An instruction already started when
-    the fault hits completes (fail-stop between instructions). *)
+
+val fail_stop : at_s:float -> victim:int -> fault_event
+val transient : at_s:float -> victim:int -> fault_event
 
 type result = {
   makespan_s : float;  (** Last core finish time. *)
@@ -52,6 +66,10 @@ type result = {
       (** Cores fail-stopped by a {!fault_event}, ascending. *)
   dropped_instructions : int;
       (** Instructions skipped (work lost) on dead cores. *)
+  checks_run : int;  (** ABFT [Check] instructions executed. *)
+  detections : int;  (** Transient strikes caught by a [Check]. *)
+  retried_mvms : int;  (** MVMs re-run after a detection. *)
+  retry_time_s : float;  (** Total time spent in retries. *)
 }
 
 exception Deadlock of string
@@ -61,4 +79,6 @@ exception Deadlock of string
 val run : ?fault_events:fault_event list -> Compass_arch.Config.chip -> Program.t list -> result
 (** Raises [Deadlock] on communication errors and [Invalid_argument] when
     [Program.validate] fails or a fault event is malformed (negative time
-    or core out of range). *)
+    or core out of range); the fault-event diagnostic names the offending
+    event index and value so the CLI can render it as a one-line exit-2
+    user error. *)

@@ -11,6 +11,10 @@ type spec = {
   scale : float;  (** Real value = scale * integer code. *)
 }
 
+val levels : int -> int
+(** [levels bits] is the largest representable code magnitude,
+    [2^(bits-1) - 1]; codes span [[-levels, levels]]. *)
+
 val quantize : bits:int -> float array -> float array * spec
 (** [quantize ~bits data] returns the fake-quantized array (values snapped
     to the [2^bits - 1]-level symmetric grid covering [max |x|]) and the

@@ -68,6 +68,17 @@ expect_exit 2 "unknown chip" "$CLI" compile -c Z --quick
 expect_stderr_line_count "unknown chip"
 expect_exit 2 "bad faults spec" "$CLI" compile -m lenet5 --quick --faults "dead:banana"
 expect_stderr_line_count "bad faults spec"
+expect_exit 2 "bad transient spec" "$CLI" compile -m lenet5 --quick --faults "drift:2.0"
+expect_stderr_line_count "bad transient spec"
+expect_exit 2 "malformed fault event" "$CLI" compile -m lenet5 --quick \
+  --faults "dead:1" --fault-at=-1
+expect_stderr_line_count "malformed fault event"
+grep -q "fault event #0 has negative time" "$TMP/err" || {
+  echo "FAIL: malformed fault event not located" >&2
+  fails=$((fails + 1))
+}
+expect_exit 2 "fault-at without faults" "$CLI" compile -m lenet5 --quick --fault-at=1
+expect_stderr_line_count "fault-at without faults"
 expect_exit 2 "negative deadline" "$CLI" compile -m lenet5 --quick --deadline=-4
 expect_stderr_line_count "negative deadline"
 echo "garbage" >"$TMP/bad.plan"
@@ -112,6 +123,27 @@ grep -q "dp.valid_spans" "$TMP/out" || {
 }
 expect_exit 0 "verify with trace" "$CLI" verify --trace "$TMP/vtrace.json" "$TMP/good.plan"
 [ -f "$TMP/vtrace.json" ] || { echo "FAIL: verify wrote no trace" >&2; fails=$((fails + 1)); }
+
+# --- self-healing recovery smoke: a seeded persistent fault is detected,
+#     remapped to spare capacity, and the output matches the fault-free run ---
+expect_exit 0 "recovery smoke" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --faults "flip:1" --fault-seed 42 --recover --metrics
+grep -q "recovered output is bit-identical to the fault-free reference" "$TMP/out" || {
+  echo "FAIL: recovery smoke did not report a bit-identical recovered output" >&2
+  fails=$((fails + 1))
+}
+if ! grep "recovery.remaps" "$TMP/out" | grep -q "[1-9]"; then
+  echo "FAIL: recovery smoke reported zero recovery.remaps in --metrics" >&2
+  fails=$((fails + 1))
+fi
+
+# --- fail-stop drill: dead core injected mid-simulation, plan repaired ---
+expect_exit 0 "fail-stop drill" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --faults "dead:1" --fault-at 0.0001
+grep -q "recovery latency" "$TMP/out" || {
+  echo "FAIL: fail-stop drill printed no recovery latency" >&2
+  fails=$((fails + 1))
+}
 
 # --- exit 2: unwritable output paths are located, actionable, pre-checked ---
 expect_exit 2 "unwritable --trace" "$CLI" compile -m lenet5 --quick \

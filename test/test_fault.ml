@@ -19,6 +19,11 @@ let test_spec_parse_roundtrip () =
       "degraded:1=4,5=2";
       "dead:0;degraded:1=4";
       "dead:2;endurance:1e+06";
+      "transient:2";
+      "flip:3";
+      "drift:0.01";
+      "dead:1;transient:1;flip:2;drift:0.5";
+      "drift:1e-06";  (* float_token keeps tiny rates exact *)
     ]
   in
   List.iter
@@ -44,6 +49,12 @@ let test_spec_errors () =
       "dead:99";
       "dead:0;degraded:0=2";  (* core listed twice *)
       "random:dead=99";  (* more faults than cores *)
+      "transient:-1";
+      "transient:x";
+      "flip:-2";
+      "drift:0";  (* rate must be in (0, 1] *)
+      "drift:1.5";
+      "drift:banana";
     ]
   in
   List.iter
@@ -337,6 +348,7 @@ let test_schedule_avoids_dead_cores () =
                 | Compass_isa.Instr.Vfu _ -> "vfu"
                 | Compass_isa.Instr.Send _ -> "send"
                 | Compass_isa.Instr.Recv _ -> "recv"
+                | Compass_isa.Instr.Check _ -> "check"
                 | Compass_isa.Instr.Sync _ -> assert false))
           p.Compass_isa.Program.instrs)
     m.Compiler.schedule.Scheduler.programs;
@@ -353,8 +365,9 @@ let test_sim_fault_injection_no_deadlock () =
     Compass_isa.Sim.run
       ~fault_events:
         [
-          { Compass_isa.Sim.at_s = healthy.Compass_isa.Sim.makespan_s /. 4.; victim = 1 };
-          { Compass_isa.Sim.at_s = 0.; victim = 3 };
+          Compass_isa.Sim.fail_stop ~at_s:(healthy.Compass_isa.Sim.makespan_s /. 4.)
+            ~victim:1;
+          Compass_isa.Sim.fail_stop ~at_s:0. ~victim:3;
         ]
       chip sched.Scheduler.programs
   in
