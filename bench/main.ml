@@ -5,7 +5,7 @@
    Sections (pass names as arguments to run a subset; default = all):
      table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 validate ablation envm
      quant stability onchip model_ablation parallel faults recover dp micro
-     observe
+     observe infer
 
    The experiment index lives in DESIGN.md; measured-vs-paper numbers are
    recorded in EXPERIMENTS.md. *)
@@ -1120,6 +1120,107 @@ let observe () =
     (if overhead < 2. then "PASS" else "FAIL")
 
 (* -------------------------------------------------------------------- *)
+(* Inference kernels: im2col/GEMM vs naive, batched serving rate        *)
+
+let infer () =
+  section_banner "infer"
+    "im2col/GEMM kernel speedup vs naive (floor: >=3x on resnet18) and \
+     batched serving rate";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* vgg16's naive forward pass takes ~1.5 min; keep the default run
+     CI-affordable and include it only on request. *)
+  let full = Sys.getenv_opt "COMPASS_BENCH_INFER_FULL" <> None in
+  let names = if full then [ "squeezenet"; "resnet18"; "vgg16" ] else [ "squeezenet"; "resnet18" ] in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      [ "model"; "naive"; "gemm"; "speedup"; "bit-identical" ]
+  in
+  let gate = ref 0. in
+  List.iter
+    (fun name ->
+      let model = Compass_nn.Models.by_name name in
+      let weights = Compass_nn.Executor.random_weights ~seed:11 model in
+      let input = Compass_nn.Executor.random_input ~seed:42 model in
+      let naive_s, naive_out =
+        time (fun () ->
+            Compass_nn.Executor.output ~engine:Compass_nn.Executor.Naive model weights input)
+      in
+      (* Median of 3 for the fast engine; the naive pass is slow enough
+         that a single run is stable. *)
+      let runs =
+        Array.init 3 (fun _ ->
+            time (fun () ->
+                Compass_nn.Executor.output ~engine:Compass_nn.Executor.Gemm model weights input))
+      in
+      Array.sort compare runs;
+      let gemm_s, gemm_out = runs.(1) in
+      let speedup = naive_s /. gemm_s in
+      if name = "resnet18" then gate := speedup;
+      Table.add_row table
+        [
+          name;
+          Units.time_to_string naive_s;
+          Units.time_to_string gemm_s;
+          Printf.sprintf "%.1fx" speedup;
+          (if Compass_nn.Tensor.equal ~eps:0. naive_out gemm_out then "yes" else "NO");
+        ])
+    names;
+  Table.print table;
+  Printf.printf "infer speedup floor (resnet18, >=3x): %.1fx %s\n" !gate
+    (if !gate >= 3. then "PASS" else "FAIL");
+  (* Serving rate: batched traversal amortizes graph walking and weight
+     lookups across samples; on multi-core hosts a pool fans samples out. *)
+  print_newline ();
+  let model = Compass_nn.Models.by_name "resnet18" in
+  let weights = Compass_nn.Executor.random_weights ~seed:11 model in
+  let serving =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right ]
+      [ "batch"; "total"; "images/s" ]
+  in
+  List.iter
+    (fun batch ->
+      let inputs =
+        Array.init batch (fun i -> Compass_nn.Executor.random_input ~seed:(42 + i) model)
+      in
+      let batch_s, _ =
+        time (fun () -> Compass_nn.Executor.output_batch model weights inputs)
+      in
+      Table.add_row serving
+        [
+          string_of_int batch;
+          Units.time_to_string batch_s;
+          Printf.sprintf "%.2f" (float_of_int batch /. batch_s);
+        ])
+    [ 1; 2; 4; 8 ];
+  Table.print serving;
+  (* Partitioned replay inherits the kernels: same plan, same bits.  The
+     chip preset changes the partition count, not the arithmetic. *)
+  print_newline ();
+  let input = Compass_nn.Executor.random_input ~seed:42 model in
+  let reference = Compass_nn.Executor.output model weights input in
+  List.iter
+    (fun chip_label ->
+      let p = plan "resnet18" chip_label 16 Compiler.Greedy in
+      let replay_s, replay =
+        time (fun ()
+              -> Partition_exec.run ~engine:Compass_nn.Executor.Gemm p.Compiler.ctx
+                   p.Compiler.group weights input)
+      in
+      Printf.printf
+        "partitioned replay (resnet18-%s, %d partitions, gemm): %s, bit-identical %s\n"
+        chip_label replay.Partition_exec.partitions_executed
+        (Units.time_to_string replay_s)
+        (if Compass_nn.Tensor.equal ~eps:0. reference replay.Partition_exec.output then "yes"
+         else "NO"))
+    [ "S"; "M"; "L" ]
+
+(* -------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1144,6 +1245,7 @@ let sections =
     ("dp", dp);
     ("micro", micro);
     ("observe", observe);
+    ("infer", infer);
   ]
 
 let () =

@@ -7,6 +7,7 @@
      validity  render a partition validity map (paper Fig. 5)
      sweep     compare compass/greedy/layerwise across workloads (Fig. 6)
      gap       optimality gap of every scheme against the exact DP bound
+     infer     host functional inference throughput (im2col/GEMM engine)
 
    Exit codes (documented in README.md):
      0  success
@@ -643,6 +644,118 @@ let sweep_cmd =
       const run $ models_arg $ chips_arg $ batch_arg $ seed_arg $ jobs_arg $ quick_arg
       $ csv_arg)
 
+(* infer: host functional inference with the im2col/GEMM engine *)
+
+let infer_cmd =
+  let engine_arg =
+    let doc =
+      "Kernel engine: gemm (im2col + cache-blocked GEMM, the default) or naive \
+       (the scalar reference — bit-identical, much slower)."
+    in
+    Arg.(value & opt string "gemm" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Timed repetitions of the whole batch." in
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Also run the first sample through both engines and confirm the outputs \
+       are bit-identical (a disagreement is a compass bug and exits 3)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let infer_batch_arg =
+    let doc = "Samples per layer traversal (fanned across --jobs domains)." in
+    Arg.(value & opt int 1 & info [ "b"; "batch" ] ~docv:"N" ~doc)
+  in
+  let infer_jobs_arg =
+    let doc =
+      "Worker domains the batch is fanned across (default: COMPASS_JOBS, else \
+       1; 0 picks the machine's recommended domain count).  Outputs are \
+       bit-identical for every value."
+    in
+    Arg.(
+      value
+      & opt int (Compass_util.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run model batch engine rounds check seed jobs trace metrics =
+   guard @@ fun () ->
+    with_observability ~trace ~metrics @@ fun () ->
+    let model = lookup_model model in
+    let engine =
+      match Compass_nn.Executor.engine_of_string engine with
+      | Some e -> e
+      | None -> invalid_arg (Printf.sprintf "unknown engine %s (try gemm, naive)" engine)
+    in
+    if batch < 1 then invalid_arg "infer: batch must be >= 1";
+    if rounds < 1 then invalid_arg "infer: rounds must be >= 1";
+    let jobs =
+      if jobs <= 0 then min 128 (max 1 (Domain.recommended_domain_count ()))
+      else min 128 jobs
+    in
+    let weights = Compass_nn.Executor.random_weights ~seed model in
+    let inputs =
+      Array.init batch (fun i ->
+          Compass_nn.Executor.random_input ~seed:(seed + 100 + i) model)
+    in
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let run_rounds pool () =
+      for _ = 1 to rounds do
+        ignore (Compass_nn.Executor.output_batch ~engine ?pool model weights inputs)
+      done
+    in
+    let elapsed_s =
+      if jobs > 1 then
+        Compass_util.Pool.with_pool ~jobs (fun pool ->
+            timed (run_rounds (Some pool)))
+      else timed (run_rounds None)
+    in
+    let images = batch * rounds in
+    Printf.printf "%s: engine %s, batch %d, %d round(s), %d worker(s)\n"
+      (Compass_nn.Graph.name model)
+      (Compass_nn.Executor.engine_to_string engine)
+      batch rounds jobs;
+    Printf.printf "%d image(s) in %s: %.2f images/s (%.1f ms/image)\n" images
+      (Compass_util.Units.time_to_string elapsed_s)
+      (float_of_int images /. elapsed_s)
+      (1000. *. elapsed_s /. float_of_int images);
+    if check then begin
+      let reference =
+        Compass_nn.Executor.output ~engine:Compass_nn.Executor.Naive model weights
+          inputs.(0)
+      in
+      let fast =
+        Compass_nn.Executor.output ~engine:Compass_nn.Executor.Gemm model weights
+          inputs.(0)
+      in
+      if Compass_nn.Tensor.equal ~eps:0. reference fast then
+        print_endline "check: gemm output is bit-identical to the naive reference"
+      else begin
+        Printf.eprintf
+          "compass: gemm and naive engines disagree (max diff %g)\n\
+           This is a bug in compass; please report it with the exact command line.\n"
+          (Compass_nn.Tensor.max_abs_diff reference fast);
+        exit 3
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Run host functional inference (random weights and inputs) and report \
+          serving throughput in images/s.  The gemm engine is bit-identical to \
+          the naive reference; batches are fanned across worker domains \
+          deterministically.")
+    Term.(
+      const run $ model_arg $ infer_batch_arg $ engine_arg $ rounds_arg $ check_arg
+      $ seed_arg $ infer_jobs_arg $ trace_arg $ metrics_arg)
+
 (* gap: how far each scheme lands from the DP's certified bound *)
 
 let gap_cmd =
@@ -676,5 +789,5 @@ let () =
           (Cmd.info "compass" ~version:"1.0.0" ~doc)
           [
             info_cmd; compile_cmd; validity_cmd; sweep_cmd; gap_cmd; schedule_cmd;
-            model_cmd; explore_cmd; plan_cmd; verify_cmd;
+            model_cmd; explore_cmd; plan_cmd; verify_cmd; infer_cmd;
           ]))

@@ -98,4 +98,21 @@ let () =
     "Small batches cannot sustain the arrival rate (queues diverge into the\n\
      p99); very large batches add waiting and per-sample completion delay.\n\
      The serving sweet spot sits near the EDP sweet spot of Fig. 8 — weight\n\
-     replacement wants batching, tail latency caps it."
+     replacement wants batching, tail latency caps it.";
+  (* The numbers above are *estimated* accelerator latencies.  For a
+     functional sanity check of the serving path itself, run a real batch
+     through the host executor's im2col/GEMM kernels and report the
+     measured host serving rate. *)
+  print_newline ();
+  let weights = Compass_nn.Executor.random_weights ~seed:7 model in
+  let inputs =
+    Array.init 4 (fun i -> Compass_nn.Executor.random_input ~seed:(7 + i) model)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outs = Compass_nn.Executor.output_batch model weights inputs in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "Host functional replay (gemm engine): batch %d in %s — %.2f images/s\n"
+    (Array.length outs)
+    (Compass_util.Units.time_to_string elapsed)
+    (float_of_int (Array.length outs) /. elapsed)

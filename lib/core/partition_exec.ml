@@ -13,7 +13,7 @@ type result = {
   peak_live_tensors : int;
 }
 
-let run ctx group weights input =
+let run ?engine ctx group weights input =
   let units = Dataflow.units ctx in
   if Partition.total_units group <> Unit_gen.unit_count units then
     invalid_arg "Partition_exec.run: group does not cover the decomposition";
@@ -52,7 +52,11 @@ let run ctx group weights input =
   let traffic = ref [] in
   let peak = ref 1 in
   let final = ref None in
+  let scratch = Im2col.create_scratch () in
   for p = 0 to nparts - 1 do
+    Compass_util.Trace.with_span "partition_exec.partition"
+      ~args:[ ("partition", string_of_int p) ]
+    @@ fun () ->
     let local : (Graph.node, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
     let loaded = Hashtbl.create 8 in
     let fetch v u =
@@ -75,7 +79,7 @@ let run ctx group weights input =
       (fun v ->
         if v <> input_node && home_partition v = p then begin
           let inputs = List.map (fetch v) (Graph.preds model v) in
-          Hashtbl.add local v (Executor.apply_node model weights v inputs)
+          Hashtbl.add local v (Executor.apply_node ?engine ~scratch model weights v inputs)
         end)
       (Graph.topo_order model);
     (* Store exit tensors: consumed by a later partition or the model exit. *)
@@ -111,8 +115,8 @@ let run ctx group weights input =
     peak_live_tensors = !peak;
   }
 
-let matches_reference ctx group weights input =
+let matches_reference ?engine ctx group weights input =
   let model = (Dataflow.units ctx).Unit_gen.model in
-  let reference = Executor.output model weights input in
-  let partitioned = (run ctx group weights input).output in
+  let reference = Executor.output ?engine model weights input in
+  let partitioned = (run ?engine ctx group weights input).output in
   Tensor.equal ~eps:1e-9 reference partitioned

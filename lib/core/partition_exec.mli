@@ -28,19 +28,27 @@ type result = {
 }
 
 val run :
+  ?engine:Compass_nn.Executor.engine ->
   Dataflow.ctx ->
   Partition.t ->
   Compass_nn.Executor.weights ->
   Compass_nn.Tensor.t ->
   result
-(** Raises [Invalid_argument] if the group does not cover the
+(** Replays the plan with the given kernel engine (default
+    {!Compass_nn.Executor.Gemm}; both engines produce bit-identical
+    tensors).  One im2col scratch buffer is shared across the whole
+    replay, and each partition body runs under a
+    ["partition_exec.partition"] trace span.
+
+    Raises [Invalid_argument] if the group does not cover the
     decomposition, weights are missing, or the model has multiple
     inputs/outputs. *)
 
 val matches_reference :
+  ?engine:Compass_nn.Executor.engine ->
   Dataflow.ctx ->
   Partition.t ->
   Compass_nn.Executor.weights ->
   Compass_nn.Tensor.t ->
   bool
-(** [run] output equals [Executor.output] within 1e-9. *)
+(** [run] output equals [Executor.output] (same engine) within 1e-9. *)

@@ -308,10 +308,7 @@ let run ?(policy = default_policy) ?(seed = 0) ?faults ~weights ~input plan0 =
     | [ n ] -> n
     | _ -> invalid_arg "Recovery.run: expected exactly one input"
   in
-  let dequant node codes =
-    let spec = Hashtbl.find spec_of node in
-    Array.map (fun c -> float_of_int c *. spec.Quant.scale) codes
-  in
+  let dequant node codes = Quant.dequantize (Hashtbl.find spec_of node) codes in
   (* Execute the model with a per-layer code source; reference and healed
      runs share this path so identical codes give bit-identical outputs. *)
   let execute codes_for =

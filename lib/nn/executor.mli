@@ -4,10 +4,27 @@
     oracle against which compiled, partitioned execution is validated
     ([Compass_core.Partition_exec]).  Batch normalization and dropout are
     inference-mode identities (folded scales are part of the conv weights
-    in deployed PIM networks). *)
+    in deployed PIM networks).
+
+    Two interchangeable kernel engines drive the weighted operators:
+    the naive nested-loop reference ([Naive]) and the im2col/GEMM
+    lowering ([Gemm], the default) — bit-identical by construction and
+    pinned so by a QCheck differential suite, so every equivalence
+    proof downstream is engine-independent.  Per-layer [Trace] spans
+    ([infer.layer]) and the [infer.gemm_ns]/[infer.im2col_bytes]
+    counters cover both single-sample and batched execution. *)
 
 type weights = (Graph.node, float array) Hashtbl.t
 (** One weight array per Conv/Linear node, in [Tensor]'s layouts. *)
+
+type engine =
+  | Naive  (** Scalar nested loops — the oracle. *)
+  | Gemm  (** Im2col + cache-blocked GEMM — bit-identical, much faster. *)
+
+val engine_of_string : string -> engine option
+(** ["naive"] / ["gemm"]. *)
+
+val engine_to_string : engine -> string
 
 val random_weights : ?seed:int -> ?scale:float -> Graph.t -> weights
 (** Deterministic pseudo-random weights in [[-scale, scale]] (default
@@ -17,16 +34,53 @@ val random_input : ?seed:int -> Graph.t -> Tensor.t
 (** A deterministic random tensor matching the graph's [Input] shape.
     Raises [Invalid_argument] on graphs without exactly one input. *)
 
-val run : Graph.t -> weights -> Tensor.t -> (Graph.node -> Tensor.t)
+val run : ?engine:engine -> Graph.t -> weights -> Tensor.t -> (Graph.node -> Tensor.t)
 (** [run g weights input] executes the whole graph and returns a lookup of
     every node's output tensor.  Raises [Invalid_argument] on missing
     weights or shape violations (the latter cannot happen for validated
     graphs). *)
 
-val output : Graph.t -> weights -> Tensor.t -> Tensor.t
+val output : ?engine:engine -> Graph.t -> weights -> Tensor.t -> Tensor.t
 (** The unique exit node's tensor.  Raises [Invalid_argument] when the
     graph has several exits. *)
 
-val apply_node : Graph.t -> weights -> Graph.node -> Tensor.t list -> Tensor.t
+val run_batch :
+  ?engine:engine ->
+  ?pool:Compass_util.Pool.t ->
+  Graph.t ->
+  weights ->
+  Tensor.t array ->
+  (Graph.node -> Tensor.t array)
+(** [run_batch g weights inputs] evaluates every sample of the batch in
+    one traversal of the graph — each layer runs over all N inputs
+    before the next layer starts, amortizing weight-array traffic.
+    With [pool], the batch is fanned across the pool's domains
+    (per-domain im2col scratch, order-preserving map), and results are
+    bit-identical for any worker count; sample [i]'s outputs never
+    depend on the rest of the batch.  Raises [Invalid_argument] on an
+    empty batch or shape mismatches. *)
+
+val output_batch :
+  ?engine:engine ->
+  ?pool:Compass_util.Pool.t ->
+  Graph.t ->
+  weights ->
+  Tensor.t array ->
+  Tensor.t array
+(** The unique exit node's tensors, one per batch sample.  Raises
+    [Invalid_argument] when the graph has several exits. *)
+
+val apply_node :
+  ?engine:engine ->
+  ?scratch:Im2col.scratch ->
+  Graph.t ->
+  weights ->
+  Graph.node ->
+  Tensor.t list ->
+  Tensor.t
 (** Execute a single node given its ordered input tensors — the primitive
-    shared with the partitioned executor. *)
+    shared with the partitioned executor.  Weighted nodes validate their
+    weight array size and raise one located diagnostic naming the node
+    id, layer kind and geometry, and the expected-vs-actual element
+    counts.  [scratch] reuses an im2col patch buffer across calls (one
+    per domain). *)

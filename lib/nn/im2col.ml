@@ -1,0 +1,175 @@
+(* Reusable patch buffer: grown on demand, never shrunk.  The packers
+   overwrite every element they use, so stale contents are harmless. *)
+type scratch = { mutable buf : float array }
+
+let create_scratch () = { buf = [||] }
+
+let ensure scratch n =
+  if Array.length scratch.buf < n then scratch.buf <- Array.make n 0.;
+  scratch.buf
+
+let out_dim ~size ~kernel ~stride ~padding = ((size + (2 * padding) - kernel) / stride) + 1
+
+(* Tile the patch rows so one tile (tile * k floats) stays L2-resident
+   while every output channel of the group streams over it. *)
+let cache_block_bytes = 131072
+
+let tile_for ~k = max 8 (cache_block_bytes / (8 * k))
+
+(* Sequential dot product, [a.(ai+i) *. b.(bi+i)] accumulated in index
+   order — the exact operation sequence of the naive kernels, which is
+   what makes the lowered results bit-identical. *)
+let dot a ai b bi k =
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    acc := !acc +. (Array.unsafe_get a (ai + i) *. Array.unsafe_get b (bi + i))
+  done;
+  !acc
+
+(* Pack the patches of one convolution group: row [(y*ow)+x] holds the
+   receptive field of output pixel (y, x), laid out (group-local input
+   channel, ky, kx) — the naive kernel's accumulation order — with
+   out-of-bounds (padding) positions stored as literal 0.  Bounds are
+   resolved per kernel row, so each row is a zero head + one contiguous
+   [Array.blit] + a zero tail instead of per-element checks. *)
+let pack_group (conv : Layer.conv) ~input ~height ~width ~group ~buf ~oh ~ow =
+  let { Layer.in_channels; kernel_h; kernel_w; stride; padding; groups; _ } = conv in
+  let group_in = in_channels / groups in
+  let idx = ref 0 in
+  for y = 0 to oh - 1 do
+    let ih0 = (y * stride) - padding in
+    for x = 0 to ow - 1 do
+      let iw0 = (x * stride) - padding in
+      for gi = 0 to group_in - 1 do
+        let cbase = ((group * group_in) + gi) * height * width in
+        for ky = 0 to kernel_h - 1 do
+          let ih = ih0 + ky in
+          if ih < 0 || ih >= height then Array.fill buf !idx kernel_w 0.
+          else begin
+            let lo = max 0 (-iw0) in
+            let hi = min kernel_w (width - iw0) in
+            if hi <= lo then Array.fill buf !idx kernel_w 0.
+            else begin
+              if lo > 0 then Array.fill buf !idx lo 0.;
+              Array.blit input (cbase + (ih * width) + iw0 + lo) buf (!idx + lo) (hi - lo);
+              if hi < kernel_w then Array.fill buf (!idx + hi) (kernel_w - hi) 0.
+            end
+          end;
+          idx := !idx + kernel_w
+        done
+      done
+    done
+  done
+
+(* One group's GEMM: out rows [oc_base, oc_base + group_out) over the
+   packed patch matrix.  Four output pixels are accumulated concurrently
+   (independent chains — each is still the sequential sum in original
+   order, so per-element results are unchanged), sharing each weight
+   load. *)
+let gemm_group ~buf ~weights ~out ~k ~p ~group_out ~oc_base ~tile =
+  let t0 = ref 0 in
+  while !t0 < p do
+    let t1 = min p (!t0 + tile) in
+    for j = 0 to group_out - 1 do
+      let oc = oc_base + j in
+      let wo = oc * k in
+      let ob = oc * p in
+      let pi = ref !t0 in
+      while !pi + 3 < t1 do
+        let q = !pi in
+        let r0 = q * k and r1 = (q + 1) * k and r2 = (q + 2) * k and r3 = (q + 3) * k in
+        let a0 = ref 0. and a1 = ref 0. and a2 = ref 0. and a3 = ref 0. in
+        for i = 0 to k - 1 do
+          let w = Array.unsafe_get weights (wo + i) in
+          a0 := !a0 +. (Array.unsafe_get buf (r0 + i) *. w);
+          a1 := !a1 +. (Array.unsafe_get buf (r1 + i) *. w);
+          a2 := !a2 +. (Array.unsafe_get buf (r2 + i) *. w);
+          a3 := !a3 +. (Array.unsafe_get buf (r3 + i) *. w)
+        done;
+        Array.unsafe_set out (ob + q) !a0;
+        Array.unsafe_set out (ob + q + 1) !a1;
+        Array.unsafe_set out (ob + q + 2) !a2;
+        Array.unsafe_set out (ob + q + 3) !a3;
+        pi := q + 4
+      done;
+      while !pi < t1 do
+        Array.unsafe_set out (ob + !pi) (dot buf (!pi * k) weights wo k);
+        incr pi
+      done
+    done;
+    t0 := t1
+  done
+
+let now () = Unix.gettimeofday ()
+
+let record_gemm_ns seconds =
+  Compass_util.Metrics.incr "infer.gemm_ns" ~by:(int_of_float (seconds *. 1e9))
+
+let conv ?scratch (conv : Layer.conv) ~weights ~input ~height ~width =
+  let { Layer.in_channels; out_channels; kernel_h; kernel_w; stride; padding; groups } =
+    conv
+  in
+  let group_in = in_channels / groups in
+  let group_out = out_channels / groups in
+  if Array.length weights <> out_channels * group_in * kernel_h * kernel_w then
+    invalid_arg "Im2col.conv: weight size mismatch";
+  if Array.length input <> in_channels * height * width then
+    invalid_arg "Im2col.conv: input size mismatch";
+  let k = group_in * kernel_h * kernel_w in
+  let oh = out_dim ~size:height ~kernel:kernel_h ~stride ~padding in
+  let ow = out_dim ~size:width ~kernel:kernel_w ~stride ~padding in
+  let p = oh * ow in
+  let buf =
+    match scratch with
+    | Some s -> ensure s (p * k)
+    | None -> Array.make (p * k) 0.
+  in
+  let out = Array.make (out_channels * p) 0. in
+  let tile = tile_for ~k in
+  let metrics_on = Compass_util.Metrics.enabled () in
+  let gemm_s = ref 0. in
+  for g = 0 to groups - 1 do
+    pack_group conv ~input ~height ~width ~group:g ~buf ~oh ~ow;
+    let t0 = if metrics_on then now () else 0. in
+    gemm_group ~buf ~weights ~out ~k ~p ~group_out ~oc_base:(g * group_out) ~tile;
+    if metrics_on then gemm_s := !gemm_s +. (now () -. t0)
+  done;
+  if metrics_on then begin
+    Compass_util.Metrics.incr "infer.im2col_bytes" ~by:(8 * groups * p * k);
+    record_gemm_ns !gemm_s
+  end;
+  (out, oh, ow)
+
+(* Linear layers need no packing: the input vector already is the patch.
+   Four output features are accumulated concurrently, sharing each input
+   load; the naive operand order (weight *. input) is preserved. *)
+let linear ~weights ~input ~in_features:k ~out_features:n =
+  if Array.length weights <> k * n then invalid_arg "Im2col.linear: weight size mismatch";
+  if Array.length input <> k then invalid_arg "Im2col.linear: input size mismatch";
+  let metrics_on = Compass_util.Metrics.enabled () in
+  let t0 = if metrics_on then now () else 0. in
+  let out = Array.make n 0. in
+  let o = ref 0 in
+  while !o + 3 < n do
+    let q = !o in
+    let w0 = q * k and w1 = (q + 1) * k and w2 = (q + 2) * k and w3 = (q + 3) * k in
+    let a0 = ref 0. and a1 = ref 0. and a2 = ref 0. and a3 = ref 0. in
+    for i = 0 to k - 1 do
+      let x = Array.unsafe_get input i in
+      a0 := !a0 +. (Array.unsafe_get weights (w0 + i) *. x);
+      a1 := !a1 +. (Array.unsafe_get weights (w1 + i) *. x);
+      a2 := !a2 +. (Array.unsafe_get weights (w2 + i) *. x);
+      a3 := !a3 +. (Array.unsafe_get weights (w3 + i) *. x)
+    done;
+    Array.unsafe_set out q !a0;
+    Array.unsafe_set out (q + 1) !a1;
+    Array.unsafe_set out (q + 2) !a2;
+    Array.unsafe_set out (q + 3) !a3;
+    o := q + 4
+  done;
+  while !o < n do
+    Array.unsafe_set out !o (dot weights (!o * k) input 0 k);
+    incr o
+  done;
+  if metrics_on then record_gemm_ns (now () -. t0);
+  out

@@ -1,0 +1,57 @@
+(** Im2col lowering of convolutions to cache-blocked GEMM over flat
+    float arrays — the fast inference engine behind
+    [Tensor.conv2d_gemm]/[linear_gemm].
+
+    The contract that makes this usable under COMPASS's bit-for-bit
+    equivalence proofs: every output element is produced by {e exactly
+    the same sequence of float operations} as the naive reference
+    kernels in [Tensor].  Patch rows are laid out in the naive
+    accumulation order (group-local input channel, then kernel row,
+    then kernel column, with zero-padding positions stored as literal
+    [0.]), the inner dot product walks that order sequentially with the
+    same operand order ([patch *. weight] for convolutions,
+    [weight *. input] for linear layers), and blocking is applied only
+    across output channels and output pixels — never across the
+    reduction dimension.  The speedup comes from hoisted bounds checks
+    ([Array.blit]/[Array.fill] packing, [unsafe_get] inner loops),
+    cache-resident patch tiles, and four independent accumulation
+    chains per weight-row pass.
+
+    When [Metrics] is enabled the engine records [infer.gemm_ns]
+    (nanoseconds inside GEMM inner loops) and [infer.im2col_bytes]
+    (bytes of patch matrix packed); disabled, instrumentation costs a
+    single atomic load per call. *)
+
+type scratch
+(** A reusable patch buffer.  Not thread-safe: use one scratch per
+    domain (e.g. via [Pool.map_local]). *)
+
+val create_scratch : unit -> scratch
+(** An empty scratch; grown on first use, never shrunk. *)
+
+val out_dim : size:int -> kernel:int -> stride:int -> padding:int -> int
+(** Output spatial extent, [(size + 2*padding - kernel) / stride + 1]. *)
+
+val conv :
+  ?scratch:scratch ->
+  Layer.conv ->
+  weights:float array ->
+  input:float array ->
+  height:int ->
+  width:int ->
+  float array * int * int
+(** [conv c ~weights ~input ~height ~width] lowers the grouped /
+    strided / padded convolution to per-group im2col + GEMM and returns
+    [(output, out_height, out_width)] in the naive kernel's CHW layout.
+    [input] is one sample, channel-major; [weights] is
+    [out_c * (in_c/groups) * kh * kw].  Bit-identical to
+    [Tensor.conv2d].  Raises [Invalid_argument] on size mismatches. *)
+
+val linear :
+  weights:float array ->
+  input:float array ->
+  in_features:int ->
+  out_features:int ->
+  float array
+(** Dense layer over a flat vector, bit-identical to [Tensor.linear].
+    Raises [Invalid_argument] on size mismatches. *)

@@ -52,6 +52,8 @@ let codes spec data =
       max (-bound) (min bound c))
     data
 
+let dequantize spec codes = Array.map (fun c -> float_of_int c *. spec.scale) codes
+
 let storage_bits ~bits n =
   if bits <= 0 || n < 0 then invalid_arg "Quant.storage_bits";
   bits * n

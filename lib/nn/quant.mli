@@ -33,5 +33,11 @@ val codes : spec -> float array -> int array
 (** Integer codes of already-quantized values, each in
     [[-(2^(bits-1) - 1), 2^(bits-1) - 1]]. *)
 
+val dequantize : spec -> int array -> float array
+(** [dequantize spec codes] maps integer codes back to real values,
+    [scale * code] — the exact inverse of {!codes} on already-quantized
+    data.  The recovery path uses this to rebuild executable weights
+    from stored cell codes. *)
+
 val storage_bits : bits:int -> int -> int
 (** Bits to store [n] values at the given precision. *)

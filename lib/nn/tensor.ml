@@ -15,6 +15,8 @@ let of_array shape data =
 let shape t = t.shape
 let size t = Array.length t.data
 let to_array t = Array.copy t.data
+let unsafe_get t i = Array.unsafe_get t.data i
+let blit t dst ~pos = Array.blit t.data 0 dst pos (Array.length t.data)
 
 let get t i =
   if i < 0 || i >= Array.length t.data then invalid_arg "Tensor.get: out of range";
@@ -103,6 +105,34 @@ let linear ~in_features ~out_features ~weights input =
     out.(o) <- !acc
   done;
   { shape = Shape.vector out_features; data = out }
+
+(* Fast path: im2col + cache-blocked GEMM, bit-identical to [conv2d]
+   (same per-output-element accumulation order; see Im2col). *)
+let conv2d_gemm ?scratch (conv : Layer.conv) ~weights input =
+  let in_c, height, width = dims input in
+  if in_c <> conv.Layer.in_channels then invalid_arg "Tensor.conv2d: channel mismatch";
+  let group_in = conv.Layer.in_channels / conv.Layer.groups in
+  if
+    Array.length weights
+    <> conv.Layer.out_channels * group_in * conv.Layer.kernel_h * conv.Layer.kernel_w
+  then invalid_arg "Tensor.conv2d: weight size mismatch";
+  let data, oh, ow = Im2col.conv ?scratch conv ~weights ~input:input.data ~height ~width in
+  {
+    shape = Shape.feature_map ~channels:conv.Layer.out_channels ~height:oh ~width:ow;
+    data;
+  }
+
+(* Fast path for [linear], bit-identical (see Im2col). *)
+let linear_gemm ~in_features ~out_features ~weights input =
+  (match input.shape with
+  | Shape.Vector { features } when features = in_features -> ()
+  | _ -> invalid_arg "Tensor.linear: input mismatch");
+  if Array.length weights <> in_features * out_features then
+    invalid_arg "Tensor.linear: weight size mismatch";
+  {
+    shape = Shape.vector out_features;
+    data = Im2col.linear ~weights ~input:input.data ~in_features ~out_features;
+  }
 
 let pool ~reduce ~init ~finish ~kernel ~stride ~padding input =
   let channels, height, width = dims input in

@@ -23,6 +23,16 @@ val size : t -> int
 val to_array : t -> float array
 (** A fresh copy of the underlying data. *)
 
+val unsafe_get : t -> int -> float
+(** Flat indexing without a bounds check — for kernel inner loops that
+    have hoisted their range proof.  Out-of-range access is undefined
+    behaviour; external callers should use {!get}. *)
+
+val blit : t -> float array -> pos:int -> unit
+(** [blit t dst ~pos] copies [t]'s elements into [dst] starting at
+    [pos] without allocating (unlike {!to_array}).  Raises
+    [Invalid_argument] when the destination range is out of bounds. *)
+
 val get : t -> int -> float
 (** Flat indexing; raises [Invalid_argument] out of range. *)
 
@@ -45,6 +55,16 @@ val max_abs_diff : t -> t -> float
 
 val conv2d : Layer.conv -> weights:float array -> t -> t
 val linear : in_features:int -> out_features:int -> weights:float array -> t -> t
+
+val conv2d_gemm : ?scratch:Im2col.scratch -> Layer.conv -> weights:float array -> t -> t
+(** Fast convolution via [Im2col]: bit-identical outputs to {!conv2d}
+    (the naive kernel remains the oracle; a QCheck differential suite
+    pins the equivalence).  [scratch] reuses a patch buffer across
+    calls — one per domain. *)
+
+val linear_gemm : in_features:int -> out_features:int -> weights:float array -> t -> t
+(** Fast dense layer, bit-identical to {!linear}. *)
+
 val max_pool : kernel:int -> stride:int -> padding:int -> t -> t
 val avg_pool : kernel:int -> stride:int -> padding:int -> t -> t
 val global_avg_pool : t -> t

@@ -155,6 +155,7 @@ let map_init t ~init ~f xs =
   end
 
 let map t f xs = fst (map_init t ~init:(fun () -> ()) ~f:(fun () x -> f x) xs)
+let map_local t ~init ~f xs = fst (map_init t ~init ~f xs)
 
 let map_reduce t ~map:f ~reduce ~init xs = Array.fold_left reduce init (map t f xs)
 

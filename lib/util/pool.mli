@@ -43,6 +43,12 @@ val map_init : t -> init:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b ar
     unspecified) for the caller to merge — the GA uses this for
     domain-local span caches. *)
 
+val map_local : t -> init:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array
+(** {!map_init} for per-domain state the caller does not need back —
+    scratch buffers, caches whose contents are pure optimization.  The
+    batched inference executor uses this for per-domain im2col patch
+    buffers. *)
+
 val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
 (** [map_reduce t ~map ~reduce ~init xs] maps in parallel, then folds the
     results sequentially in input order — deterministic even for

@@ -1,0 +1,307 @@
+(* Differential tests for the im2col/GEMM inference engine: the fast
+   kernels must be bit-identical to the naive reference (the oracle),
+   and batched execution must equal per-sample execution for any pool
+   worker count. *)
+
+open Compass_nn
+
+let rng_floats rng n = Array.init n (fun _ -> Compass_util.Rng.float rng 2. -. 1.)
+
+let bit_identical what a b =
+  Alcotest.(check bool) what true (Tensor.equal ~eps:0. a b)
+
+(* A random grouped/strided/padded, possibly asymmetric convolution
+   case: (conv record, input tensor, weights). *)
+let random_conv_case rng =
+  let groups = 1 + Compass_util.Rng.int rng 4 in
+  let group_in = 1 + Compass_util.Rng.int rng 4 in
+  let group_out = 1 + Compass_util.Rng.int rng 4 in
+  let in_channels = groups * group_in in
+  let out_channels = groups * group_out in
+  let kernel_h = 1 + Compass_util.Rng.int rng 4 in
+  let kernel_w = 1 + Compass_util.Rng.int rng 4 in
+  let stride = 1 + Compass_util.Rng.int rng 3 in
+  let padding = Compass_util.Rng.int rng 4 in
+  let height = kernel_h + Compass_util.Rng.int rng 8 in
+  let width = kernel_w + Compass_util.Rng.int rng 8 in
+  let conv =
+    match
+      Layer.conv_rect ~stride ~padding ~groups ~in_channels ~out_channels ~kernel_h
+        ~kernel_w ()
+    with
+    | Layer.Conv c -> c
+    | _ -> assert false
+  in
+  let input =
+    Tensor.of_array
+      (Shape.feature_map ~channels:in_channels ~height ~width)
+      (rng_floats rng (in_channels * height * width))
+  in
+  let weights = rng_floats rng (out_channels * group_in * kernel_h * kernel_w) in
+  (conv, input, weights)
+
+let prop_conv_gemm_bit_identical =
+  QCheck.Test.make ~name:"conv2d_gemm bit-identical to conv2d" ~count:120
+    QCheck.small_int (fun seed ->
+      let rng = Compass_util.Rng.create seed in
+      let conv, input, weights = random_conv_case rng in
+      let reference = Tensor.conv2d conv ~weights input in
+      let fast = Tensor.conv2d_gemm conv ~weights input in
+      Tensor.equal ~eps:0. reference fast)
+
+let prop_conv_gemm_scratch_reuse =
+  (* A shared scratch across differently-sized convolutions never leaks
+     state between calls. *)
+  QCheck.Test.make ~name:"conv2d_gemm scratch reuse is pure" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Compass_util.Rng.create (seed + 5000) in
+      let scratch = Im2col.create_scratch () in
+      List.for_all
+        (fun () ->
+          let conv, input, weights = random_conv_case rng in
+          let reference = Tensor.conv2d conv ~weights input in
+          let fast = Tensor.conv2d_gemm ~scratch conv ~weights input in
+          Tensor.equal ~eps:0. reference fast)
+        [ (); (); () ])
+
+let prop_linear_gemm_bit_identical =
+  QCheck.Test.make ~name:"linear_gemm bit-identical to linear" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Compass_util.Rng.create seed in
+      let in_features = 1 + Compass_util.Rng.int rng 64 in
+      let out_features = 1 + Compass_util.Rng.int rng 64 in
+      let input =
+        Tensor.of_array (Shape.vector in_features) (rng_floats rng in_features)
+      in
+      let weights = rng_floats rng (in_features * out_features) in
+      let reference = Tensor.linear ~in_features ~out_features ~weights input in
+      let fast = Tensor.linear_gemm ~in_features ~out_features ~weights input in
+      Tensor.equal ~eps:0. reference fast)
+
+let test_asymmetric_kernels () =
+  (* 1x5 and 5x1 kernels (and friends) exercise the packer's kernel-row
+     runs in both orientations. *)
+  List.iter
+    (fun (kernel_h, kernel_w, stride, padding) ->
+      let conv =
+        match
+          Layer.conv_rect ~stride ~padding ~groups:1 ~in_channels:3 ~out_channels:4
+            ~kernel_h ~kernel_w ()
+        with
+        | Layer.Conv c -> c
+        | _ -> assert false
+      in
+      let rng = Compass_util.Rng.create (kernel_h + (10 * kernel_w)) in
+      let input =
+        Tensor.of_array
+          (Shape.feature_map ~channels:3 ~height:9 ~width:9)
+          (rng_floats rng (3 * 9 * 9))
+      in
+      let weights = rng_floats rng (4 * 3 * kernel_h * kernel_w) in
+      bit_identical
+        (Printf.sprintf "%dx%d s%d p%d" kernel_h kernel_w stride padding)
+        (Tensor.conv2d conv ~weights input)
+        (Tensor.conv2d_gemm conv ~weights input))
+    [ (1, 5, 1, 2); (5, 1, 1, 2); (3, 1, 2, 0); (1, 3, 2, 3); (2, 4, 3, 1) ]
+
+let test_engines_agree_on_models () =
+  (* Whole-model runs: every node's tensor, not just the exit. *)
+  List.iter
+    (fun name ->
+      let g = Models.by_name name in
+      let w = Executor.random_weights g in
+      let x = Executor.random_input g in
+      let naive = Executor.run ~engine:Executor.Naive g w x in
+      let gemm = Executor.run ~engine:Executor.Gemm g w x in
+      List.iter
+        (fun node ->
+          bit_identical (Printf.sprintf "%s node %d" name node) (naive node) (gemm node))
+        (Graph.nodes g))
+    [ "lenet5"; "tiny_resnet"; "tiny_mlp" ]
+
+let batch_inputs g n = Array.init n (fun i -> Executor.random_input ~seed:(100 + i) g)
+
+let test_run_batch_equals_per_sample () =
+  (* Batched execution must match N independent single-sample runs
+     bit-for-bit, for batch sizes 1-8. *)
+  let g = Models.lenet5 () in
+  let w = Executor.random_weights g in
+  List.iter
+    (fun n ->
+      let inputs = batch_inputs g n in
+      let batched = Executor.output_batch g w inputs in
+      Array.iteri
+        (fun i x ->
+          bit_identical
+            (Printf.sprintf "batch %d sample %d" n i)
+            (Executor.output g w x) batched.(i))
+        inputs)
+    [ 1; 2; 3; 4; 8 ]
+
+let test_run_batch_any_worker_count () =
+  (* Fanning the batch across a pool never changes a single bit,
+     whatever the worker count. *)
+  let g = Models.tiny_resnet () in
+  let w = Executor.random_weights g in
+  let inputs = batch_inputs g 6 in
+  let sequential = Executor.output_batch g w inputs in
+  List.iter
+    (fun jobs ->
+      Compass_util.Pool.with_pool ~jobs (fun pool ->
+          let pooled = Executor.output_batch ~pool g w inputs in
+          Array.iteri
+            (fun i t ->
+              bit_identical (Printf.sprintf "jobs %d sample %d" jobs i) sequential.(i) t)
+            pooled))
+    [ 1; 2; 3; 5 ]
+
+let test_run_batch_all_nodes () =
+  (* The batched lookup exposes every node, matching single-sample runs. *)
+  let g = Models.tiny_mlp () in
+  let w = Executor.random_weights g in
+  let inputs = batch_inputs g 3 in
+  let lookup = Executor.run_batch g w inputs in
+  List.iter
+    (fun node ->
+      let batched = lookup node in
+      Array.iteri
+        (fun i x ->
+          bit_identical
+            (Printf.sprintf "node %d sample %d" node i)
+            (Executor.run g w x node)
+            batched.(i))
+        inputs)
+    (Graph.nodes g)
+
+let test_run_batch_rejects_empty () =
+  let g = Models.tiny_mlp () in
+  let w = Executor.random_weights g in
+  Alcotest.(check bool) "empty batch rejected" true
+    (try
+       ignore (Executor.output_batch g w [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let expect_diagnostic f =
+  match f () with
+  | _ -> None
+  | exception Invalid_argument msg -> Some msg
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_located_weight_diagnostic () =
+  (* Wrong-size weights name the node, layer kind and geometry, and both
+     element counts in one message. *)
+  let g = Models.lenet5 () in
+  let w = Executor.random_weights g in
+  let x = Executor.random_input g in
+  let conv_node =
+    List.find
+      (fun n ->
+        match (Graph.layer g n).Layer.op with Layer.Conv _ -> true | _ -> false)
+      (Graph.nodes g)
+  in
+  let expected = Layer.weight_params (Graph.layer g conv_node).Layer.op in
+  Hashtbl.replace w conv_node [| 1.; 2.; 3. |];
+  List.iter
+    (fun engine ->
+      match expect_diagnostic (fun () -> Executor.output ~engine g w x) with
+      | None -> Alcotest.fail "undersized weights accepted"
+      | Some msg ->
+        let check_sub part =
+          Alcotest.(check bool)
+            (Printf.sprintf "%s diagnostic mentions %S" (Executor.engine_to_string engine)
+               part)
+            true (contains ~sub:part msg)
+        in
+        check_sub (Printf.sprintf "node %d" conv_node);
+        check_sub "conv";
+        check_sub (Printf.sprintf "expected %d weight elements" expected);
+        check_sub "got 3")
+    [ Executor.Naive; Executor.Gemm ]
+
+let test_linear_weight_diagnostic () =
+  let g = Models.tiny_mlp () in
+  let w = Executor.random_weights g in
+  let x = Executor.random_input g in
+  let lin_node =
+    List.find
+      (fun n ->
+        match (Graph.layer g n).Layer.op with Layer.Linear _ -> true | _ -> false)
+      (Graph.nodes g)
+  in
+  Hashtbl.replace w lin_node (Array.make 7 0.) ;
+  match expect_diagnostic (fun () -> Executor.output g w x) with
+  | None -> Alcotest.fail "undersized weights accepted"
+  | Some msg ->
+    Alcotest.(check bool) "mentions node" true
+      (contains ~sub:(Printf.sprintf "node %d" lin_node) msg);
+    Alcotest.(check bool) "mentions linear" true (contains ~sub:"linear" msg);
+    Alcotest.(check bool) "mentions got" true (contains ~sub:"got 7" msg)
+
+let test_depthwise_and_grouped_gemm () =
+  (* Depthwise (groups = channels) and grouped strided convs through the
+     graph executor, both engines. *)
+  let g = Graph.create ~name:"dw" () in
+  let input =
+    Graph.add g "in" (Layer.Input (Shape.feature_map ~channels:6 ~height:11 ~width:7))
+  in
+  let dw = Graph.add g ~inputs:[ input ] "dw" (Layer.depthwise ~stride:2 ~channels:6 3) in
+  let grouped =
+    Graph.add g ~inputs:[ dw ] "grp"
+      (Layer.conv ~stride:2 ~groups:3 ~in_channels:6 ~out_channels:9 3)
+  in
+  let gap = Graph.add g ~inputs:[ grouped ] "gap" Layer.Global_avg_pool in
+  let _fc = Graph.add g ~inputs:[ gap ] "fc" (Layer.linear ~in_features:9 ~out_features:4) in
+  (match Graph.validate g with Ok () -> () | Error e -> failwith e);
+  let w = Executor.random_weights g in
+  let x = Executor.random_input g in
+  bit_identical "depthwise+grouped model"
+    (Executor.output ~engine:Executor.Naive g w x)
+    (Executor.output ~engine:Executor.Gemm g w x)
+
+let test_quant_dequantize_roundtrip () =
+  let data = Array.init 64 (fun i -> sin (float_of_int i /. 3.)) in
+  let q, spec = Quant.quantize ~bits:4 data in
+  let codes = Quant.codes spec q in
+  let back = Quant.dequantize spec codes in
+  Array.iteri
+    (fun i x -> Alcotest.(check (float 1e-12)) (Printf.sprintf "code %d" i) x back.(i))
+    q
+
+let () =
+  Alcotest.run "infer"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_conv_gemm_bit_identical;
+          QCheck_alcotest.to_alcotest prop_conv_gemm_scratch_reuse;
+          QCheck_alcotest.to_alcotest prop_linear_gemm_bit_identical;
+          Alcotest.test_case "asymmetric kernels" `Quick test_asymmetric_kernels;
+          Alcotest.test_case "engines agree on models" `Quick
+            test_engines_agree_on_models;
+          Alcotest.test_case "depthwise and grouped" `Quick
+            test_depthwise_and_grouped_gemm;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "equals per-sample" `Quick test_run_batch_equals_per_sample;
+          Alcotest.test_case "any worker count" `Quick test_run_batch_any_worker_count;
+          Alcotest.test_case "all nodes exposed" `Quick test_run_batch_all_nodes;
+          Alcotest.test_case "empty batch rejected" `Quick test_run_batch_rejects_empty;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "conv weight diagnostic" `Quick
+            test_located_weight_diagnostic;
+          Alcotest.test_case "linear weight diagnostic" `Quick
+            test_linear_weight_diagnostic;
+        ] );
+      ( "quant",
+        [
+          Alcotest.test_case "dequantize roundtrip" `Quick test_quant_dequantize_roundtrip;
+        ] );
+    ]
