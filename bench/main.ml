@@ -5,7 +5,7 @@
    Sections (pass names as arguments to run a subset; default = all):
      table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 validate ablation envm
      quant stability onchip model_ablation parallel faults recover dp micro
-     observe infer
+     observe infer chaos
 
    The experiment index lives in DESIGN.md; measured-vs-paper numbers are
    recorded in EXPERIMENTS.md. *)
@@ -1221,6 +1221,107 @@ let infer () =
     [ "S"; "M"; "L" ]
 
 (* -------------------------------------------------------------------- *)
+(* Chaos machinery: disabled-failpoint overhead and supervision cost    *)
+
+(* Every site the libraries guard; keep in sync with docs/FORMATS.md. *)
+let failpoint_sites =
+  [
+    "artifact.write.open"; "artifact.write.mid"; "artifact.write.syscall";
+    "artifact.write.fsync"; "artifact.write.rename"; "artifact.append.open";
+    "artifact.append.mid"; "artifact.append.syscall"; "artifact.read";
+    "pool.task"; "plan_text.save"; "plan_text.checkpoint.save";
+    "plan_text.checkpoint.load"; "ga.evaluate"; "ga.generation";
+    "compiler.prepare"; "compiler.compile"; "explore.point"; "executor.batch";
+  ]
+
+let chaos () =
+  section_banner "chaos"
+    "failpoint guard overhead on the disabled path (budget: <1% of a compile)";
+  (* ns per guard, disarmed: the only cost every production run pays. *)
+  Failpoint.clear ();
+  let time_guards calls =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to calls do
+      Failpoint.guard "bench.probe"
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int calls *. 1e9
+  in
+  let disabled_ns = time_guards 10_000_000 in
+  (* Armed but matching nothing: the worst realistic cost while a
+     schedule targets some other site. *)
+  let armed_ns =
+    Failpoint.with_schedule "no.such.site=raise@always" (fun () ->
+        time_guards 1_000_000)
+  in
+  Printf.printf "guard: disabled %.2f ns/call, armed non-matching %.0f ns/call\n"
+    disabled_ns armed_ns;
+  (* Guards traversed by one compile, counted under an armed schedule
+     that never fires (hit counters only run while armed). *)
+  let model = Compass_nn.Models.resnet18 () in
+  let chip = Compass_arch.Config.chip_s in
+  let prepared = Compiler.prepare ~model ~chip () in
+  let params = { Ga.quick_params with Ga.seed = 7 } in
+  let compile () =
+    ignore
+      (Compiler.compile_prepared ~ga_params:params ~batch:16 prepared Compiler.Compass)
+  in
+  compile ();
+  (* warm-up *)
+  let guards =
+    Failpoint.with_schedule "no.such.site=raise@always" (fun () ->
+        compile ();
+        List.fold_left (fun acc s -> acc + Failpoint.hits s) 0 failpoint_sites)
+  in
+  (* Compile wall clock with failpoints disarmed (median). *)
+  let repeats = 9 in
+  let samples =
+    Array.init repeats (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        compile ();
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare samples;
+  let compile_s = samples.(repeats / 2) in
+  (* A/B medians of a whole compile cannot resolve a sub-0.1% effect
+     above scheduler noise, so the gate is analytic: guards per compile
+     times the measured per-guard cost, over the compile time. *)
+  let overhead = float_of_int guards *. disabled_ns *. 1e-9 /. compile_s in
+  Printf.printf
+    "compile: %d guard sites traversed, %s median wall clock (disarmed)\n" guards
+    (Units.time_to_string compile_s);
+  Printf.printf "chaos overhead: %.4f%% (budget 1%%) %s\n" (100. *. overhead)
+    (if overhead < 0.01 then "PASS" else "FAIL");
+  (* Supervision cost: the retry machinery only acts after a failure, so
+     a clean phase should pay nothing measurable. *)
+  print_newline ();
+  let xs = Array.init 200 Fun.id in
+  let work x =
+    let acc = ref 0 in
+    for i = 1 to 20_000 do
+      acc := !acc + ((x * i) mod 97)
+    done;
+    !acc
+  in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let time_map supervision =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to 5 do
+          ignore (Pool.map ?supervision pool work xs)
+        done;
+        (Unix.gettimeofday () -. t0) /. 5.
+      in
+      ignore (time_map None);
+      (* warm-up *)
+      let plain = time_map None in
+      let supervised = time_map (Some (Pool.supervision ~retries:2 ())) in
+      Printf.printf
+        "pool phase (200 tasks, jobs=2): plain %s, supervised %s (%.1f%% delta, \
+         informational)\n"
+        (Units.time_to_string plain)
+        (Units.time_to_string supervised)
+        (100. *. ((supervised /. plain) -. 1.)))
+
+(* -------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1246,6 +1347,7 @@ let sections =
     ("micro", micro);
     ("observe", observe);
     ("infer", infer);
+    ("chaos", chaos);
   ]
 
 let () =

@@ -116,29 +116,103 @@ let lookup_chip label =
 (* Misuse (unknown scheme names, bad fault specs, malformed artifact
    files, infeasible fault scenarios, ...) surfaces as Invalid_argument /
    Load_error / Sys_error from the library: one-line diagnostic, exit 2.
-   Anything else escaping the library is a compass bug: exit 3 with a
-   bug-report hint.  COMPASS_INTERNAL_FAULT=1 injects a synthetic internal
-   failure so the exit-3 path itself is testable. *)
+   Injected chaos (--failpoints / COMPASS_FAILPOINTS) counts as an
+   environment failure, not a bug: Failpoint.Injected and simulated
+   syscall errors also exit 2, as does a supervised pool task that
+   exhausted its retries on one of those.  Anything else escaping the
+   library is a compass bug: exit 3 with a bug-report hint.
+   COMPASS_INTERNAL_FAULT=1 injects a synthetic internal failure so the
+   exit-3 path itself is testable. *)
 let guard f =
-  try
-    (match Sys.getenv_opt "COMPASS_INTERNAL_FAULT" with
-    | Some "1" -> failwith "synthetic internal fault (COMPASS_INTERNAL_FAULT=1)"
-    | Some _ | None -> ());
-    f ()
-  with
-  | Invalid_argument msg | Sys_error msg | Plan_text.Load_error msg ->
-    Printf.eprintf "compass: %s\n" msg;
-    exit 2
-  | Compass_nn.Model_text.Parse_error (line, msg) ->
-    Printf.eprintf "compass: line %d: %s\n" line msg;
-    exit 2
-  | e ->
+  let internal e =
     Printf.eprintf
       "compass: internal error: %s\n\
        This is a bug in compass, not in your input.  Please report it together\n\
        with the exact command line and any input files.\n"
       (Printexc.to_string e);
     exit 3
+  in
+  let user msg =
+    Printf.eprintf "compass: %s\n" msg;
+    exit 2
+  in
+  try
+    (match Sys.getenv_opt "COMPASS_INTERNAL_FAULT" with
+    | Some "1" -> failwith "synthetic internal fault (COMPASS_INTERNAL_FAULT=1)"
+    | Some _ | None -> ());
+    f ()
+  with
+  | Invalid_argument msg | Sys_error msg | Plan_text.Load_error msg -> user msg
+  | Compass_nn.Model_text.Parse_error (line, msg) ->
+    Printf.eprintf "compass: line %d: %s\n" line msg;
+    exit 2
+  | Compass_util.Failpoint.Injected site ->
+    user (Printf.sprintf "injected failpoint %s fired" site)
+  | Unix.Unix_error (e, fn, arg) ->
+    user
+      (Printf.sprintf "%s%s: %s" fn
+         (if arg = "" then "" else " " ^ arg)
+         (Unix.error_message e))
+  | Compass_util.Pool.Task_error { index; attempts; error; _ } -> (
+    let located msg =
+      user (Printf.sprintf "task %d failed after %d attempt(s): %s" index attempts msg)
+    in
+    match error with
+    | Invalid_argument msg | Sys_error msg | Plan_text.Load_error msg -> located msg
+    | Compass_util.Failpoint.Injected site ->
+      located (Printf.sprintf "injected failpoint %s fired" site)
+    | Unix.Unix_error (e, fn, arg) ->
+      located
+        (Printf.sprintf "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
+    | e -> internal e)
+  | e -> internal e
+
+let failpoints_arg =
+  let doc =
+    "Arm a deterministic failpoint schedule for this run (chaos drills), e.g. \
+     'artifact.write.mid=raise@once' or 'pool.task=raise@nth:3'.  Grammar and \
+     site catalogue in docs/FORMATS.md; also settable via the \
+     COMPASS_FAILPOINTS environment variable."
+  in
+  Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
+
+let task_retries_arg =
+  let doc =
+    "Supervise parallel workers: re-execute a crashed pool task up to $(docv) \
+     times on the main domain before giving up (0, the default, surfaces the \
+     first failure as a located diagnostic).  Task evaluation is pure, so a \
+     recovered run is bit-identical to an unfailed one."
+  in
+  Arg.(value & opt int 0 & info [ "task-retries" ] ~docv:"N" ~doc)
+
+let arm_failpoints = function
+  | None -> ()
+  | Some spec -> Compass_util.Failpoint.set spec  (* Invalid_argument -> exit 2 *)
+
+let supervision_of ?watchdog retries =
+  if retries < 0 then invalid_arg "--task-retries: must be >= 0"
+  else if retries = 0 then None
+  else Some (Compass_util.Pool.supervision ~retries ?watchdog ())
+
+(* A torn checkpoint (crash mid-write, interrupted journal append) is
+   salvaged on resume instead of failing it: the newest fully-valid
+   generation continues the search, with a notice on stdout. *)
+let load_checkpoint_salvaging path =
+  match Plan_text.load_checkpoint path with
+  | ck -> ck
+  | exception Plan_text.Load_error msg -> (
+    match Plan_text.salvage_checkpoint path with
+    | s ->
+      Printf.printf "salvaged torn checkpoint %s: resuming from generation %d%s\n%!"
+        path s.Plan_text.generation
+        (if s.Plan_text.dropped_records > 0 then
+           Printf.sprintf " (%d torn history record(s) dropped)" s.Plan_text.dropped_records
+         else "");
+      s.Plan_text.recovered
+    | exception Plan_text.Load_error _ ->
+      raise (Plan_text.Load_error (Printf.sprintf "%s: %s" path msg)))
 
 (* Output paths are validated before any compilation work starts, so a
    typo'd --trace/--checkpoint path fails in milliseconds with a located
@@ -291,8 +365,9 @@ let compile_cmd =
   in
   let run model chip batch scheme objective seed jobs simulate quick save tech faults
       fault_seed warm_start deadline checkpoint resume verify recover fault_at trace
-      metrics =
+      metrics failpoints task_retries =
    guard @@ fun () ->
+    arm_failpoints failpoints;
     Option.iter (fun path -> ensure_writable ~flag:"--checkpoint" path) checkpoint;
     Option.iter (fun path -> ensure_writable ~flag:"--save" path) save;
     with_observability ~trace ~metrics @@ fun () ->
@@ -305,14 +380,16 @@ let compile_cmd =
     | Some f -> Format.printf "%a@." Compass_arch.Fault.pp f
     | None -> ());
     let budget = Option.map (fun s -> Compass_util.Budget.of_deadline s) deadline in
-    let resume = Option.map Plan_text.load_checkpoint resume in
+    let supervision = supervision_of ?watchdog:budget task_retries in
+    let resume = Option.map load_checkpoint_salvaging resume in
     let on_checkpoint =
       Option.map (fun path ck -> Plan_text.save_checkpoint path ck) checkpoint
     in
     let plan =
       Compiler.compile ~objective
         ~ga_params:(ga_params ~quick ~seed ~jobs)
-        ~warm_start ?faults ?budget ?resume ?on_checkpoint ~model ~chip ~batch scheme
+        ~warm_start ?faults ?budget ?supervision ?resume ?on_checkpoint ~model ~chip
+        ~batch scheme
     in
     if plan.Compiler.budget_exhausted then
       Format.printf
@@ -399,7 +476,8 @@ let compile_cmd =
       const run $ model_arg $ chip_arg $ batch_arg $ scheme_arg $ objective_arg
       $ seed_arg $ jobs_arg $ simulate_arg $ quick_arg $ save_arg $ tech_arg
       $ faults_arg $ fault_seed_arg $ warm_start_arg $ deadline_arg $ checkpoint_arg
-      $ resume_arg $ verify_flag $ recover_arg $ fault_at_arg $ trace_arg $ metrics_arg)
+      $ resume_arg $ verify_flag $ recover_arg $ fault_at_arg $ trace_arg $ metrics_arg
+      $ failpoints_arg $ task_retries_arg)
 
 (* plan: reload an archived plan *)
 
@@ -680,8 +758,11 @@ let infer_cmd =
       & opt int (Compass_util.Pool.default_jobs ())
       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run model batch engine rounds check seed jobs trace metrics =
+  let run model batch engine rounds check seed jobs trace metrics failpoints
+      task_retries =
    guard @@ fun () ->
+    arm_failpoints failpoints;
+    let supervision = supervision_of task_retries in
     with_observability ~trace ~metrics @@ fun () ->
     let model = lookup_model model in
     let engine =
@@ -707,7 +788,9 @@ let infer_cmd =
     in
     let run_rounds pool () =
       for _ = 1 to rounds do
-        ignore (Compass_nn.Executor.output_batch ~engine ?pool model weights inputs)
+        ignore
+          (Compass_nn.Executor.output_batch ~engine ?pool ?supervision model weights
+             inputs)
       done
     in
     let elapsed_s =
@@ -754,7 +837,8 @@ let infer_cmd =
           deterministically.")
     Term.(
       const run $ model_arg $ infer_batch_arg $ engine_arg $ rounds_arg $ check_arg
-      $ seed_arg $ infer_jobs_arg $ trace_arg $ metrics_arg)
+      $ seed_arg $ infer_jobs_arg $ trace_arg $ metrics_arg $ failpoints_arg
+      $ task_retries_arg)
 
 (* gap: how far each scheme lands from the DP's certified bound *)
 
@@ -780,6 +864,148 @@ let gap_cmd =
       const run $ model_arg $ chip_arg $ batch_arg $ objective_arg $ seed_arg
       $ jobs_arg $ quick_arg $ trace_arg $ metrics_arg)
 
+(* doctor: self-check of the chaos machinery — supervision, crash
+   consistency, salvage.  Runs entirely against temp files and a tiny
+   lenet5 search; exit 0 when every drill passes, 1 otherwise. *)
+
+let doctor_cmd =
+  let run () =
+    let failures = ref 0 in
+    let checks = ref 0 in
+    let expect cond fmt =
+      Printf.ksprintf (fun msg -> if not cond then failwith msg) fmt
+    in
+    let check name f =
+      incr checks;
+      match f () with
+      | () -> Printf.printf "doctor: %-26s ok\n%!" name
+      | exception e ->
+        incr failures;
+        Printf.printf "doctor: %-26s FAIL: %s\n%!" name (Printexc.to_string e)
+    in
+    let with_temp_dir f =
+      let dir = Filename.temp_file "compass-doctor" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+          Unix.rmdir dir)
+        (fun () -> f dir)
+    in
+    let open Compass_util in
+    check "failpoint schedule" (fun () ->
+        Failpoint.with_schedule "doctor.drill=raise@nth:2" @@ fun () ->
+        Failpoint.guard "doctor.drill";
+        (match Failpoint.guard "doctor.drill" with
+        | () -> failwith "nth:2 rule did not fire on the second hit"
+        | exception Failpoint.Injected "doctor.drill" -> ());
+        expect (Failpoint.hits "doctor.drill" = 2) "expected 2 recorded hits";
+        expect (Failpoint.fired () = [ ("doctor.drill", 1) ]) "expected 1 recorded firing");
+    check "pool task diagnostics" (fun () ->
+        (* At jobs = 1 tasks run in index order, so the 3rd pool.task
+           guard is task index 2 — the located diagnostic must say so. *)
+        Pool.with_pool ~jobs:1 @@ fun p ->
+        Failpoint.with_schedule "pool.task=raise@nth:3" @@ fun () ->
+        match Pool.map p succ (Array.init 8 Fun.id) with
+        | _ -> failwith "injected worker crash did not surface"
+        | exception Pool.Task_error { index = 2; attempts = 1; error = Failpoint.Injected "pool.task"; _ } -> ()
+        | exception Pool.Task_error { index; _ } ->
+          failwith (Printf.sprintf "Task_error located at index %d, expected 2" index));
+    check "pool supervised recovery" (fun () ->
+        Pool.with_pool ~jobs:1 @@ fun p ->
+        Failpoint.with_schedule "pool.task=raise@nth:3" @@ fun () ->
+        let supervision = Pool.supervision ~retries:2 () in
+        let got = Pool.map ~supervision p succ (Array.init 8 Fun.id) in
+        expect (got = Array.init 8 (fun i -> i + 1))
+          "supervised retry did not reproduce the unfailed result");
+    check "artifact crash consistency" (fun () ->
+        with_temp_dir @@ fun dir ->
+        let path = Filename.concat dir "artifact.txt" in
+        (Failpoint.with_schedule "artifact.write.rename=enospc@once" @@ fun () ->
+         match Artifact.write_atomic path "doomed" with
+         | () -> failwith "injected ENOSPC did not surface"
+         | exception Sys_error msg ->
+           expect
+             (String.length msg >= String.length path)
+             "diagnostic %S does not name the path" msg);
+        expect
+          (Array.length (Sys.readdir dir) = 0)
+          "failed write left litter behind (temp file not cleaned)";
+        Artifact.write_atomic path "payload";
+        expect (Artifact.read_file path = "payload") "clean write did not round-trip");
+    check "artifact EINTR retry" (fun () ->
+        with_temp_dir @@ fun dir ->
+        let path = Filename.concat dir "artifact.txt" in
+        (Failpoint.with_schedule "artifact.write.syscall=eintr@once" @@ fun () ->
+         Artifact.write_atomic path "interrupted once");
+        expect
+          (Artifact.read_file path = "interrupted once")
+          "EINTR was not retried transparently");
+    check "checkpoint salvage" (fun () ->
+        let units =
+          Unit_gen.generate (Compass_nn.Models.by_name "lenet5") Compass_arch.Config.chip_s
+        in
+        let v = Validity.build units in
+        let ctx = Dataflow.context units in
+        let params = { Ga.quick_params with Ga.seed = 11; jobs = 1 } in
+        let first = ref None and last = ref None in
+        ignore
+          (Ga.optimize ~params
+             ~on_checkpoint:(fun ck ->
+               if !first = None then first := Some ck;
+               last := Some ck)
+             ctx v ~batch:4);
+        let first = Option.get !first and last = Option.get !last in
+        let t1 = Plan_text.checkpoint_to_string first in
+        let t2 = Plan_text.checkpoint_to_string last in
+        (* A journal whose final append was torn mid-record: salvage must
+           fall back to the previous complete block. *)
+        let torn = t1 ^ String.sub t2 0 (String.length t2 - String.length t2 / 3) in
+        let s = Plan_text.salvage_of_string torn in
+        expect
+          (Plan_text.checkpoint_to_string s.Plan_text.recovered = t1
+          || s.Plan_text.generation >= first.Ga.ck_generation)
+          "journal salvage did not recover a usable generation";
+        (* A single snapshot torn inside the history section: the
+           population survives, only reporting records are dropped. *)
+        let cut =
+          let marker = "\nrecords " in
+          let rec find i =
+            if i + String.length marker > String.length t2 then String.length t2 * 2 / 3
+            else if String.sub t2 i (String.length marker) = marker then
+              i + String.length marker + 3
+            else find (i + 1)
+          in
+          min (find 0) (String.length t2)
+        in
+        let s = Plan_text.salvage_of_string (String.sub t2 0 cut) in
+        expect
+          (s.Plan_text.generation = last.Ga.ck_generation)
+          "torn-history salvage lost the newest generation");
+    check "salvage rejects hopeless input" (fun () ->
+        (match Plan_text.salvage_of_string "not a checkpoint at all" with
+        | _ -> failwith "garbage salvaged"
+        | exception Plan_text.Load_error _ -> ());
+        match Plan_text.salvage_of_string "compass-ga-checkpoint 1\nobjective lat" with
+        | _ -> failwith "checkpoint with no population salvaged"
+        | exception Plan_text.Load_error _ -> ());
+    if !failures = 0 then
+      Printf.printf "doctor: all %d checks passed\n" !checks
+    else begin
+      Printf.eprintf "compass: doctor: %d of %d check(s) failed\n" !failures !checks;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Self-check the chaos-hardening machinery: failpoint schedules, \
+          supervised worker recovery, crash-consistent artifact writes, and \
+          torn-checkpoint salvage.  Exit 0 when every drill passes, 1 \
+          otherwise.")
+    Term.(const run $ const ())
+
 let () =
   let doc = "COMPASS: compiler for resource-constrained crossbar PIM accelerators" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -789,5 +1015,5 @@ let () =
           (Cmd.info "compass" ~version:"1.0.0" ~doc)
           [
             info_cmd; compile_cmd; validity_cmd; sweep_cmd; gap_cmd; schedule_cmd;
-            model_cmd; explore_cmd; plan_cmd; verify_cmd; infer_cmd;
+            model_cmd; explore_cmd; plan_cmd; verify_cmd; infer_cmd; doctor_cmd;
           ]))

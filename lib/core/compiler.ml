@@ -53,6 +53,7 @@ let prepare ?faults ~model ~chip () =
   Compass_util.Trace.with_span "compiler.prepare"
     ~args:[ ("model", Compass_nn.Graph.name model) ]
   @@ fun () ->
+  Compass_util.Failpoint.guard "compiler.prepare";
   let units =
     Compass_util.Trace.with_span "prepare.unit_gen" (fun () ->
         Unit_gen.generate model chip)
@@ -71,9 +72,10 @@ let prepare ?faults ~model ~chip () =
   }
 
 let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_params)
-    ?jobs ?cache ?(warm_start = false) ?budget ?resume ?on_checkpoint ~batch prepared
-    scheme =
+    ?jobs ?cache ?(warm_start = false) ?budget ?supervision ?resume ?on_checkpoint
+    ~batch prepared scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
+  Compass_util.Failpoint.guard "compiler.compile";
   let ga_params =
     match jobs with Some j -> { ga_params with Ga.jobs = j } | None -> ga_params
   in
@@ -105,8 +107,8 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
         | Some d -> { ga_params with Ga.warm_start = [ d.Optimal.group ] }
       in
       let result =
-        Ga.optimize ~params:ga_params ~objective ~options ?cache ?budget ?resume
-          ?on_checkpoint ctx validity ~batch
+        Ga.optimize ~params:ga_params ~objective ~options ?cache ?budget ?supervision
+          ?resume ?on_checkpoint ctx validity ~batch
       in
       (result.Ga.best.Ga.group, Some result, dp)
   in
@@ -123,11 +125,11 @@ let compile_prepared ?(objective = Fitness.Latency) ?(ga_params = Ga.default_par
   { model; chip; batch; scheme; objective; units; ctx; validity; group; perf; ga; dp;
     faults; budget_exhausted }
 
-let compile ?objective ?ga_params ?jobs ?warm_start ?faults ?budget ?resume
-    ?on_checkpoint ~model ~chip ~batch scheme =
+let compile ?objective ?ga_params ?jobs ?warm_start ?faults ?budget ?supervision
+    ?resume ?on_checkpoint ~model ~chip ~batch scheme =
   if batch < 1 then invalid_arg "Compiler.compile: batch < 1";
-  compile_prepared ?objective ?ga_params ?jobs ?warm_start ?budget ?resume ?on_checkpoint
-    ~batch
+  compile_prepared ?objective ?ga_params ?jobs ?warm_start ?budget ?supervision ?resume
+    ?on_checkpoint ~batch
     (prepare ?faults ~model ~chip ())
     scheme
 

@@ -49,6 +49,7 @@ val compile :
   ?warm_start:bool ->
   ?faults:Compass_arch.Fault.t ->
   ?budget:Compass_util.Budget.t ->
+  ?supervision:Compass_util.Pool.supervision ->
   ?resume:Ga.checkpoint ->
   ?on_checkpoint:(Ga.checkpoint -> unit) ->
   model:Compass_nn.Graph.t ->
@@ -73,7 +74,11 @@ val compile :
     (see {!Ga.optimize} and {!Optimal.optimize} for the per-phase
     semantics; the front end and final evaluation always complete).
     [?resume] and [?on_checkpoint] thread GA checkpointing through the
-    [Compass] scheme and are ignored by the others. *)
+    [Compass] scheme and are ignored by the others.  [?supervision]
+    threads the worker-recovery policy to the GA's evaluation pool (see
+    {!Ga.optimize}); evaluation is pure, so supervised recovery leaves
+    the plan bit-identical.  Failpoint sites: [compiler.prepare],
+    [compiler.compile]. *)
 
 (** {1 Amortized front end}
 
@@ -99,6 +104,7 @@ val compile_prepared :
   ?cache:Estimator.Span_cache.t ->
   ?warm_start:bool ->
   ?budget:Compass_util.Budget.t ->
+  ?supervision:Compass_util.Pool.supervision ->
   ?resume:Ga.checkpoint ->
   ?on_checkpoint:(Ga.checkpoint -> unit) ->
   batch:int ->

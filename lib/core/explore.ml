@@ -8,7 +8,7 @@ type point = {
   capacity_mb : float;
 }
 
-let sweep ?objective ?ga_params ?jobs ?budget ~model ~chips ~batches () =
+let sweep ?objective ?ga_params ?jobs ?budget ?supervision ~model ~chips ~batches () =
   let expired () =
     match budget with None -> false | Some b -> Compass_util.Budget.expired b
   in
@@ -35,8 +35,9 @@ let sweep ?objective ?ga_params ?jobs ?budget ~model ~chips ~batches () =
                       ("batch", string_of_int batch);
                     ]
                 @@ fun () ->
-                Compiler.compile_prepared ?objective ?ga_params ?jobs ?budget ~batch
-                  prepared Compiler.Compass
+                Compass_util.Failpoint.guard "explore.point";
+                Compiler.compile_prepared ?objective ?ga_params ?jobs ?budget
+                  ?supervision ~batch prepared Compiler.Compass
               in
               Some
                 {

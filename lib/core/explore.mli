@@ -21,6 +21,7 @@ val sweep :
   ?ga_params:Ga.params ->
   ?jobs:int ->
   ?budget:Compass_util.Budget.t ->
+  ?supervision:Compass_util.Pool.supervision ->
   model:Compass_nn.Graph.t ->
   chips:Compass_arch.Config.chip list ->
   batches:int list ->
@@ -32,7 +33,10 @@ val sweep :
     anytime: once the token expires, remaining pairs are skipped (the
     already-compiled points are returned, and the in-flight GA itself cuts
     short, flagging its plan [budget_exhausted]).  Query
-    {!Compass_util.Budget.exhausted} to learn whether the sweep was cut. *)
+    {!Compass_util.Budget.exhausted} to learn whether the sweep was cut.
+    [?supervision] forwards the worker-recovery policy to each point's GA
+    (see {!Ga.optimize}).  Failpoint site: [explore.point] (per compiled
+    point). *)
 
 val pareto : point list -> point list
 (** Points not dominated under (maximize throughput, minimize energy per

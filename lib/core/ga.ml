@@ -178,8 +178,8 @@ let mutate scheme rng validity ~scores group =
   | Fixed_random -> mutate_fixed_random rng validity scores group
 
 let optimize ?(params = default_params) ?(objective = Fitness.Latency)
-    ?(options = Estimator.default_options) ?cache ?budget ?resume ?on_checkpoint ctx
-    validity ~batch =
+    ?(options = Estimator.default_options) ?cache ?budget ?supervision ?resume
+    ?on_checkpoint ctx validity ~batch =
   (* A checkpoint freezes the search configuration along with its state:
      resuming re-applies the stored params/objective (only [jobs] follows
      the caller, since it cannot affect the trajectory). *)
@@ -243,10 +243,11 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
      in domain-local caches, merged back between phases — no locking on
      the hot path, and cache hits still accumulate across generations. *)
   let evaluate_batch groups =
+    Failpoint.guard "ga.evaluate";
     evaluations := !evaluations + Array.length groups;
     Metrics.incr ~by:(Array.length groups) "ga.fitness_evaluations";
     let perfs, locals =
-      Pool.map_init pool
+      Pool.map_init ?supervision pool
         ~init:(fun () -> Estimator.Span_cache.create ~options ~batch ())
         ~f:(fun local group -> Estimator.evaluate_cached ~shared ~cache:local ctx ~batch group)
         groups
@@ -350,6 +351,7 @@ let optimize ?(params = default_params) ?(objective = Fitness.Latency)
        end;
        Trace.with_span ~args:[ ("generation", string_of_int g) ] "ga.generation"
        @@ fun () ->
+       Failpoint.guard "ga.generation";
        Metrics.incr "ga.generations";
        generations_run := g + 1;
        by_fitness !population;

@@ -134,6 +134,7 @@ val optimize :
   ?options:Estimator.model_options ->
   ?cache:Estimator.Span_cache.t ->
   ?budget:Compass_util.Budget.t ->
+  ?supervision:Compass_util.Pool.supervision ->
   ?resume:checkpoint ->
   ?on_checkpoint:(checkpoint -> unit) ->
   Dataflow.ctx ->
@@ -155,6 +156,15 @@ val optimize :
     one candidate is always evaluated, even under an already-expired
     budget.  A budget generous enough to never expire leaves the run
     bit-identical to an unbudgeted one.
+
+    [?supervision] is passed through to the evaluation pool
+    ({!Compass_util.Pool.map_init}): a crashing fitness evaluation is
+    retried on the calling domain, and — evaluation being pure — a
+    recovered run stays bit-identical to an unfailed one.  Without it, a
+    worker failure surfaces as a located
+    {!Compass_util.Pool.Task_error}.  Failpoint sites: [ga.evaluate]
+    (per evaluation wave), [ga.generation] (per generation), plus the
+    pool's [pool.task].
 
     [?on_checkpoint] is called with a resumable snapshot after the initial
     evaluation and after every {e completed} generation (never for a

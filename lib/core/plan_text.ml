@@ -37,7 +37,9 @@ let to_string (plan : Compiler.t) =
   end;
   Buffer.contents buf
 
-let save path plan = Compass_util.Artifact.write_atomic path (to_string plan)
+let save path plan =
+  Compass_util.Failpoint.guard "plan_text.save";
+  Compass_util.Artifact.write_atomic path (to_string plan)
 
 let of_string text =
   (* Header lines until an optional model-text marker; every field keeps
@@ -368,6 +370,146 @@ let checkpoint_of_string text =
   }
 
 let save_checkpoint path ck =
+  Compass_util.Failpoint.guard "plan_text.checkpoint.save";
   Compass_util.Artifact.write_atomic path (checkpoint_to_string ck)
 
-let load_checkpoint path = checkpoint_of_string (Compass_util.Artifact.read_file path)
+let load_checkpoint path =
+  Compass_util.Failpoint.guard "plan_text.checkpoint.load";
+  checkpoint_of_string (Compass_util.Artifact.read_file path)
+
+let append_checkpoint path ck =
+  Compass_util.Failpoint.guard "plan_text.checkpoint.save";
+  Compass_util.Artifact.append_durable path (checkpoint_to_string ck)
+
+(* {1 Checkpoint salvage}
+
+   A torn checkpoint — truncated by a crash mid-write or a torn journal
+   append — is recovered instead of failing resume.  The file is split
+   into blocks at "compass-ga-checkpoint" header lines (a journal holds
+   several; an atomic snapshot holds one) and blocks are tried newest
+   first.  Within a torn block, a final partial line (no trailing
+   newline) is untrustworthy and dropped — a truncated "cuts" line can
+   still parse as a {e different} individual, which would silently break
+   resume determinism.  The population must survive complete; truncated
+   trailing history records are dropped (history is reporting-only, so
+   the resumed trajectory is unaffected). *)
+
+type salvage = {
+  recovered : Ga.checkpoint;
+  generation : int;
+  complete : bool;
+  dropped_records : int;
+}
+
+let header_token = "compass-ga-checkpoint"
+
+(* Start offsets of every block header at a line start. *)
+let block_starts text =
+  let n = String.length text and hn = String.length header_token in
+  let at i = i + hn <= n && String.sub text i hn = header_token in
+  let starts = ref (if at 0 then [ 0 ] else []) in
+  String.iteri (fun i c -> if c = '\n' && at (i + 1) then starts := (i + 1) :: !starts) text;
+  List.rev !starts
+
+(* A well-formed "key v..." line, reusing the strict parsers so tolerance
+   never accepts what the strict reader would reject. *)
+let record_line_ok l =
+  match String.index_opt l ' ' with
+  | Some i when String.sub l 0 i = "record" -> (
+    let v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+    match String.split_on_char ' ' v |> List.filter (fun s -> s <> "") with
+    | [ gen; best; sel; mut ] -> (
+      match (int_of_string_opt gen, float_of_string_opt best) with
+      | Some _, Some _ -> (
+        match (parse_pairs 0 sel, parse_pairs 0 mut) with
+        | _, _ -> true
+        | exception Load_error _ -> false)
+      | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+let records_count_line l =
+  match String.index_opt l ' ' with
+  | Some i when String.sub l 0 i = "records" ->
+    int_of_string_opt (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+  | _ -> None
+
+let salvage_block text =
+  (* A block whose final line lacks its newline is torn mid-line; a torn
+     line must never be trusted even when it happens to parse (a
+     truncated "record" pairs token still reads as a — shorter — valid
+     token), so the strict path only runs on newline-terminated text. *)
+  let torn_tail = text <> "" && text.[String.length text - 1] <> '\n' in
+  match if torn_tail then fail "torn final line" else checkpoint_of_string text with
+  | ck ->
+    { recovered = ck; generation = ck.Ga.ck_generation; complete = true; dropped_records = 0 }
+  | exception (Load_error _ as strict_failure) ->
+    (* Drop the torn final partial line, then rebuild the records section
+       from the complete, well-formed record lines and re-run the strict
+       parser on the repaired text — tolerance never invents fields. *)
+    let text =
+      match String.rindex_opt text '\n' with
+      | Some i when i = String.length text - 1 -> text
+      | Some i -> String.sub text 0 (i + 1)
+      | None -> raise strict_failure
+    in
+    let lines =
+      String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec split_at_records prefix = function
+      | [] -> (List.rev prefix, None, [])
+      | l :: rest -> (
+        match records_count_line l with
+        | Some n -> (List.rev prefix, Some n, rest)
+        | None -> split_at_records (l :: prefix) rest)
+    in
+    let prefix, declared, tail = split_at_records [] lines in
+    let kept =
+      let rec take n = function
+        | l :: rest when n > 0 && record_line_ok l -> l :: take (n - 1) rest
+        | _ -> []
+      in
+      take (Option.value ~default:0 declared) tail
+    in
+    let nkept = List.length kept in
+    let repaired =
+      String.concat "\n"
+        (prefix @ (Printf.sprintf "records %d" nkept :: kept) @ [ "" ])
+    in
+    let ck = checkpoint_of_string repaired in
+    {
+      recovered = ck;
+      generation = ck.Ga.ck_generation;
+      complete = false;
+      dropped_records = (match declared with Some n -> max 0 (n - nkept) | None -> 0);
+    }
+
+let salvage_of_string text =
+  match block_starts text with
+  | [] -> fail "not a compass-ga-checkpoint file (missing header)"
+  | starts ->
+    let n = String.length text in
+    let blocks =
+      let rec spans = function
+        | [] -> []
+        | [ s ] -> [ String.sub text s (n - s) ]
+        | s :: (s' :: _ as rest) -> String.sub text s (s' - s) :: spans rest
+      in
+      spans starts
+    in
+    let rec newest_first = function
+      | [] -> assert false
+      | [ b ] -> salvage_block b
+      | b :: earlier -> (
+        match salvage_block b with
+        | s -> s
+        | exception (Load_error _ as e) -> (
+          (* The newest block's diagnostic is the one that matters. *)
+          try newest_first earlier with Load_error _ -> raise e))
+    in
+    (* Blocks were built oldest-first; try newest first. *)
+    newest_first (List.rev blocks)
+
+let salvage_checkpoint path =
+  Compass_util.Failpoint.guard "plan_text.checkpoint.load";
+  salvage_of_string (Compass_util.Artifact.read_file path)

@@ -134,9 +134,10 @@ let output ?engine g weights input =
    each layer, optionally fanning the batch across pool domains.
    [Pool.map]/[map_local] preserve input order, so results are
    deterministic for any worker count; the engine draws no randomness. *)
-let run_batch ?(engine = Gemm) ?pool g weights inputs =
+let run_batch ?(engine = Gemm) ?pool ?supervision g weights inputs =
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Executor.run_batch: empty batch";
+  Compass_util.Failpoint.guard "executor.batch";
   let parallel =
     match pool with
     | Some p when Compass_util.Pool.jobs p > 1 && n > 1 -> Some p
@@ -166,8 +167,8 @@ let run_batch ?(engine = Gemm) ?pool g weights inputs =
             (fun () ->
               match parallel with
               | Some p ->
-                Compass_util.Pool.map_local p ~init:Im2col.create_scratch ~f:eval
-                  (Array.init n Fun.id)
+                Compass_util.Pool.map_local ?supervision p ~init:Im2col.create_scratch
+                  ~f:eval (Array.init n Fun.id)
               | None -> Array.init n (eval scratch))
       in
       Hashtbl.add outputs node results)
@@ -177,7 +178,7 @@ let run_batch ?(engine = Gemm) ?pool g weights inputs =
     | Some t -> t
     | None -> invalid_arg "Executor.run_batch: unknown node"
 
-let output_batch ?engine ?pool g weights inputs =
+let output_batch ?engine ?pool ?supervision g weights inputs =
   match Graph.exit_nodes g with
-  | [ exit ] -> run_batch ?engine ?pool g weights inputs exit
+  | [ exit ] -> run_batch ?engine ?pool ?supervision g weights inputs exit
   | _ -> invalid_arg "Executor.output_batch: expected exactly one exit"

@@ -47,6 +47,7 @@ val output : ?engine:engine -> Graph.t -> weights -> Tensor.t -> Tensor.t
 val run_batch :
   ?engine:engine ->
   ?pool:Compass_util.Pool.t ->
+  ?supervision:Compass_util.Pool.supervision ->
   Graph.t ->
   weights ->
   Tensor.t array ->
@@ -57,12 +58,16 @@ val run_batch :
     With [pool], the batch is fanned across the pool's domains
     (per-domain im2col scratch, order-preserving map), and results are
     bit-identical for any worker count; sample [i]'s outputs never
-    depend on the rest of the batch.  Raises [Invalid_argument] on an
-    empty batch or shape mismatches. *)
+    depend on the rest of the batch.  [?supervision] forwards the
+    worker-recovery policy to the pool (evaluation is pure, so a
+    supervised retry reproduces the sample bit-identically); failpoint
+    site [executor.batch] marks each batch entry.  Raises
+    [Invalid_argument] on an empty batch or shape mismatches. *)
 
 val output_batch :
   ?engine:engine ->
   ?pool:Compass_util.Pool.t ->
+  ?supervision:Compass_util.Pool.supervision ->
   Graph.t ->
   weights ->
   Tensor.t array ->

@@ -1,17 +1,34 @@
-(** Crash-safe artifact writes.
+(** Crash-consistent artifact writes.
 
     Compiled plans and GA checkpoints are written through
-    write-to-temp + atomic-rename, so a crash (or a second writer) can
-    never leave a half-written file behind under the destination path: a
-    reader sees either the previous complete artifact or the new one,
-    never a truncated mix. *)
+    write-to-temp + fsync + atomic-rename, so a crash — or an injected
+    {!Failpoint} failure — can never leave a half-written file behind
+    under the destination path: a reader sees either the previous
+    complete artifact or the new one, never a truncated mix.
+
+    Failpoint sites (catalogue in docs/FORMATS.md):
+    [artifact.write.open], [artifact.write.mid] (payload truncation),
+    [artifact.write.syscall] (per-chunk, e.g. [eintr]/[enospc]),
+    [artifact.write.fsync], [artifact.write.rename],
+    [artifact.append.open], [artifact.append.mid],
+    [artifact.append.syscall], [artifact.read]. *)
 
 val write_atomic : string -> string -> unit
 (** [write_atomic path contents] writes [contents] to a fresh temporary
-    file in [path]'s directory, flushes it, and renames it over [path]
-    (atomic on POSIX within one filesystem).  On any error the temporary
-    file is removed and the original [path] is left untouched.  Raises
-    [Sys_error] on I/O failure. *)
+    file in [path]'s directory, fsyncs it, renames it over [path]
+    (atomic on POSIX within one filesystem), and best-effort-syncs the
+    directory.  [EINTR] during a write is retried (bounded).  On any
+    other error the temporary file is removed and the {e original}
+    failure is reported — never the cleanup's — as a [Sys_error] naming
+    the path and the failing step; [path] is left untouched. *)
+
+val append_durable : string -> string -> unit
+(** [append_durable path contents] appends [contents] to [path]
+    (creating it if needed) and fsyncs before returning.  Appends are
+    not atomic: a crash mid-append leaves a torn tail, which is exactly
+    what journal salvage ({!Compass_core.Plan_text.salvage_checkpoint})
+    recovers from — only the last record is ever at risk.  [EINTR] is
+    retried; other failures raise a located [Sys_error]. *)
 
 val float_token : float -> string
 (** Serialize a float so [float_of_string] reads back the identical bit

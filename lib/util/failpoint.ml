@@ -1,0 +1,247 @@
+(* Deterministic fault injection ("failpoints") for chaos testing.
+
+   Library code marks named fail sites with [guard]/[guard_write]; a
+   schedule (from [COMPASS_FAILPOINTS] or [with_schedule]) arms rules
+   that make chosen sites raise, simulate syscall errors, truncate
+   payloads or delay.  Disabled — the default — every guard is a single
+   atomic load, so guarded code pays nothing and behaves bit-identically
+   to unguarded code (the bench [chaos] section pins the overhead).
+
+   Armed, each guard takes a global mutex: firing decisions (hit
+   counters, seeded Bernoulli draws) must be race-free because workers
+   hit sites concurrently.  The enabled path is test-only machinery and
+   is not performance-critical. *)
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some (Printf.sprintf "injected failpoint %s fired" site)
+    | _ -> None)
+
+type action =
+  | Raise
+  | Errno of Unix.error
+  | Truncate of int
+  | Delay of float  (* seconds *)
+
+type trigger =
+  | Always
+  | Once
+  | Nth of int
+  | Every of int
+  | Prob of float * int  (* probability, seed *)
+
+type rule = {
+  r_site : string;  (* exact site, or a prefix ending in '*' *)
+  r_action : action;
+  r_trigger : trigger;
+  r_rng : Rng.t option;  (* drawn under the mutex for [Prob] rules *)
+  mutable r_hits : int;
+  mutable r_fired : int;
+}
+
+let on = Atomic.make false
+let mutex = Mutex.create ()
+let rules : rule list ref = ref []
+let spec_string : string option ref = ref None
+
+(* Per-site guard counts, recorded while armed — lets tests assert a
+   site was reached and the bench count guards per operation. *)
+let observed : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let enabled () = Atomic.get on
+let active () = !spec_string
+
+(* {2 Spec parsing}
+
+   spec    ::= clause (";" clause)*
+   clause  ::= site "=" action ("@" trigger)?
+   action  ::= "raise" | "enospc" | "eintr" | "eio"
+             | "truncate:" BYTES | "delay:" MILLISECONDS
+   trigger ::= "once" (default) | "always" | "nth:" K | "every:" K
+             | "prob:" P ":" SEED                                     *)
+
+let fail fmt = Printf.ksprintf (fun m -> invalid_arg ("failpoint spec: " ^ m)) fmt
+
+let parse_action clause s =
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "raise" -> Raise
+    | "enospc" -> Errno Unix.ENOSPC
+    | "eintr" -> Errno Unix.EINTR
+    | "eio" -> Errno Unix.EIO
+    | _ -> fail "unknown action %S in clause %S" s clause)
+  | Some i -> (
+    let key = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match key with
+    | "truncate" -> (
+      match int_of_string_opt arg with
+      | Some n when n >= 0 -> Truncate n
+      | _ -> fail "bad truncate byte count %S in clause %S" arg clause)
+    | "delay" -> (
+      match float_of_string_opt arg with
+      | Some ms when ms >= 0. -> Delay (ms /. 1000.)
+      | _ -> fail "bad delay (milliseconds) %S in clause %S" arg clause)
+    | _ -> fail "unknown action %S in clause %S" key clause)
+
+let parse_trigger clause s =
+  match String.split_on_char ':' s with
+  | [ "once" ] -> Once
+  | [ "always" ] -> Always
+  | [ "nth"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Nth k
+    | _ -> fail "bad nth count %S in clause %S" k clause)
+  | [ "every"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Every k
+    | _ -> fail "bad every count %S in clause %S" k clause)
+  | [ "prob"; p; seed ] -> (
+    match (float_of_string_opt p, int_of_string_opt seed) with
+    | Some p, Some seed when p >= 0. && p <= 1. -> Prob (p, seed)
+    | _ -> fail "bad prob trigger %S (expected prob:P:SEED, 0<=P<=1) in clause %S" s clause)
+  | _ -> fail "unknown trigger %S in clause %S" s clause
+
+let parse_clause clause =
+  let clause = String.trim clause in
+  match String.index_opt clause '=' with
+  | None -> fail "clause %S lacks '=' (expected site=action[@trigger])" clause
+  | Some i ->
+    let site = String.trim (String.sub clause 0 i) in
+    if site = "" then fail "clause %S names no site" clause;
+    let rest = String.sub clause (i + 1) (String.length clause - i - 1) in
+    let action_s, trigger =
+      match String.index_opt rest '@' with
+      | None -> (String.trim rest, Once)
+      | Some j ->
+        ( String.trim (String.sub rest 0 j),
+          parse_trigger clause
+            (String.trim (String.sub rest (j + 1) (String.length rest - j - 1))) )
+    in
+    let action = parse_action clause action_s in
+    let rng = match trigger with Prob (_, seed) -> Some (Rng.create seed) | _ -> None in
+    { r_site = site; r_action = action; r_trigger = trigger; r_rng = rng;
+      r_hits = 0; r_fired = 0 }
+
+let parse spec =
+  String.split_on_char ';' spec
+  |> List.filter (fun c -> String.trim c <> "")
+  |> List.map parse_clause
+
+let clear () =
+  Mutex.lock mutex;
+  rules := [];
+  spec_string := None;
+  Hashtbl.reset observed;
+  Mutex.unlock mutex;
+  Atomic.set on false
+
+let set spec =
+  if String.trim spec = "" then clear ()
+  else begin
+    let rs = parse spec in
+    Mutex.lock mutex;
+    rules := rs;
+    spec_string := Some spec;
+    Hashtbl.reset observed;
+    Mutex.unlock mutex;
+    Atomic.set on true
+  end
+
+let with_schedule spec f =
+  let previous = active () in
+  set spec;
+  Fun.protect
+    ~finally:(fun () -> match previous with None -> clear () | Some s -> set s)
+    f
+
+let hits site =
+  Mutex.lock mutex;
+  let n = Option.value ~default:0 (Hashtbl.find_opt observed site) in
+  Mutex.unlock mutex;
+  n
+
+let fired () =
+  Mutex.lock mutex;
+  let fs =
+    List.filter_map
+      (fun r -> if r.r_fired > 0 then Some (r.r_site, r.r_fired) else None)
+      !rules
+  in
+  Mutex.unlock mutex;
+  fs
+
+let matches rule site =
+  rule.r_site = site
+  ||
+  let n = String.length rule.r_site in
+  n > 0
+  && rule.r_site.[n - 1] = '*'
+  && String.length site >= n - 1
+  && String.sub site 0 (n - 1) = String.sub rule.r_site 0 (n - 1)
+
+(* Decide, under the mutex, which action (if any) fires at [site]; the
+   action itself (raise / sleep) runs outside the lock. *)
+let decide site =
+  Mutex.lock mutex;
+  Hashtbl.replace observed site
+    (1 + Option.value ~default:0 (Hashtbl.find_opt observed site));
+  let fired_action =
+    List.find_map
+      (fun r ->
+        if not (matches r site) then None
+        else begin
+          r.r_hits <- r.r_hits + 1;
+          let fire =
+            match r.r_trigger with
+            | Always -> true
+            | Once -> r.r_hits = 1
+            | Nth k -> r.r_hits = k
+            | Every k -> r.r_hits mod k = 0
+            | Prob (p, _) -> (
+              match r.r_rng with Some rng -> Rng.float rng 1. < p | None -> false)
+          in
+          if fire then begin
+            r.r_fired <- r.r_fired + 1;
+            Some r.r_action
+          end
+          else None
+        end)
+      !rules
+  in
+  Mutex.unlock mutex;
+  fired_action
+
+let act site = function
+  | Raise -> raise (Injected site)
+  | Errno e -> raise (Unix.Unix_error (e, "failpoint", site))
+  | Delay s -> Unix.sleepf s
+  | Truncate _ -> ()  (* payload truncation only applies at [guard_write] *)
+
+let guard site =
+  if Atomic.get on then
+    match decide site with None -> () | Some action -> act site action
+
+let guard_write site payload =
+  if not (Atomic.get on) then payload
+  else
+    match decide site with
+    | None -> payload
+    | Some (Truncate n) -> String.sub payload 0 (min n (String.length payload))
+    | Some action ->
+      act site action;
+      payload
+
+(* A malformed COMPASS_FAILPOINTS must not crash program start-up (the
+   CLI's --failpoints flag gives the located, exit-2 path); warn and run
+   un-armed instead. *)
+let () =
+  match Sys.getenv_opt "COMPASS_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    try set spec
+    with Invalid_argument msg ->
+      Printf.eprintf "compass: ignoring COMPASS_FAILPOINTS: %s\n%!" msg)

@@ -9,6 +9,31 @@ let default_jobs () =
     | Some j when j >= 1 -> min max_jobs j
     | Some _ | None -> 1)
 
+exception
+  Task_error of {
+    index : int;
+    worker : int;
+    attempts : int;
+    error : exn;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { index; worker; attempts; error } ->
+      Some
+        (Printf.sprintf "pool task %d failed on worker %d after %d attempt(s): %s" index
+           worker attempts (Printexc.to_string error))
+    | _ -> None)
+
+type supervision = {
+  retries : int;
+  watchdog : Budget.t option;
+}
+
+let supervision ?(retries = 2) ?watchdog () =
+  if retries < 0 then invalid_arg "Pool.supervision: retries < 0";
+  { retries; watchdog }
+
 (* One phase = one [map_init] call.  Workers block on [work] until the
    epoch advances, run the current body (which pulls item indices from an
    atomic counter until exhausted), then report completion on [done_].
@@ -100,64 +125,117 @@ let run_phase t body =
   t.body <- None;
   Mutex.unlock t.mutex
 
-(* Keep the exception raised by the lowest item index, so the caller sees
-   the same failure regardless of scheduling. *)
-let rec record_failure slot i exn =
+let rec push slot x =
   let cur = Atomic.get slot in
-  match cur with
-  | Some (j, _) when j <= i -> ()
-  | _ -> if not (Atomic.compare_and_set slot cur (Some (i, exn))) then record_failure slot i exn
+  if not (Atomic.compare_and_set slot cur (x :: cur)) then push slot x
 
-let rec push_state slot s =
-  let cur = Atomic.get slot in
-  if not (Atomic.compare_and_set slot cur (s :: cur)) then push_state slot s
+(* Failed tasks are re-executed on the calling domain, in index order —
+   deterministic for any worker count (a pure [f] yields the same value
+   on retry, so a recovered run equals an unfailed one).  The watchdog
+   budget bounds the whole recovery loop: once it expires, the remaining
+   failures surface instead of retrying further. *)
+let recover ~supervision ~f ~state ~out failures =
+  let ordered =
+    List.sort (fun (i, _, _) (j, _, _) -> compare i j) failures
+  in
+  let give_up index worker attempts error =
+    raise (Task_error { index; worker; attempts; error })
+  in
+  List.iter
+    (fun (index, worker, error) ->
+      match supervision with
+      | None -> give_up index worker 1 error
+      | Some { retries; watchdog } ->
+        let expired () =
+          match watchdog with None -> false | Some b -> Budget.expired b
+        in
+        let rec attempt k last =
+          if k > retries + 1 then give_up index worker (k - 1) last
+          else if k > 1 && expired () then give_up index worker (k - 1) last
+          else
+            match
+              Failpoint.guard "pool.task";
+              f (state ()) index
+            with
+            | y -> out.(index) <- Some y
+            | exception e -> attempt (k + 1) e
+        in
+        attempt 2 error)
+    ordered
 
-let map_init t ~init ~f xs =
+let map_init ?supervision t ~init ~f xs =
   let n = Array.length xs in
   if t.stopped then invalid_arg "Pool: used after shutdown";
   if n = 0 then ([||], [])
-  else if t.n_jobs = 1 then begin
-    let s = init () in
-    (Array.map (f s) xs, [ s ])
-  end
   else begin
     let out = Array.make n None in
-    let next = Atomic.make 0 in
     let states = Atomic.make [] in
-    let failure = Atomic.make None in
-    let body () =
-      let local = ref None in
+    let failures = Atomic.make [] in
+    let exec s i =
+      match
+        Failpoint.guard "pool.task";
+        f s xs.(i)
+      with
+      | y -> out.(i) <- Some y
+      | exception exn -> push failures (i, (Domain.self () :> int), exn)
+    in
+    if t.n_jobs = 1 then begin
+      let s = init () in
+      push states s;
+      for i = 0 to n - 1 do
+        exec s i
+      done
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let body () =
+        let local = ref None in
+        let state () =
+          match !local with
+          | Some s -> s
+          | None ->
+            let s = init () in
+            local := Some s;
+            push states s;
+            s
+        in
+        let rec pull () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            exec (state ()) i;
+            pull ()
+          end
+        in
+        pull ()
+      in
+      run_phase t body
+    end;
+    (match Atomic.get failures with
+    | [] -> ()
+    | failures ->
+      (* Retries run on the calling domain with a lazily-built state of
+         their own, merged back like any worker's. *)
+      let retry_state = ref None in
       let state () =
-        match !local with
+        match !retry_state with
         | Some s -> s
         | None ->
           let s = init () in
-          local := Some s;
-          push_state states s;
+          retry_state := Some s;
+          push states s;
           s
       in
-      let rec pull () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (match f (state ()) xs.(i) with
-          | y -> out.(i) <- Some y
-          | exception exn -> record_failure failure i exn);
-          pull ()
-        end
-      in
-      pull ()
-    in
-    run_phase t body;
-    match Atomic.get failure with
-    | Some (_, exn) -> raise exn
-    | None ->
-      (Array.map (function Some y -> y | None -> assert false) out, Atomic.get states)
+      recover ~supervision ~f:(fun s i -> f s xs.(i)) ~state ~out failures);
+    (Array.map (function Some y -> y | None -> assert false) out, Atomic.get states)
   end
 
-let map t f xs = fst (map_init t ~init:(fun () -> ()) ~f:(fun () x -> f x) xs)
-let map_local t ~init ~f xs = fst (map_init t ~init ~f xs)
+let map ?supervision t f xs =
+  fst (map_init ?supervision t ~init:(fun () -> ()) ~f:(fun () x -> f x) xs)
 
-let map_reduce t ~map:f ~reduce ~init xs = Array.fold_left reduce init (map t f xs)
+let map_local ?supervision t ~init ~f xs = fst (map_init ?supervision t ~init ~f xs)
+
+let map_reduce ?supervision t ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map ?supervision t f xs)
 
 let with_pool ~jobs f =
   let t = create ~jobs in

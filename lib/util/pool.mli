@@ -1,4 +1,5 @@
-(** A persistent domain pool for data-parallel array operations.
+(** A persistent domain pool for data-parallel array operations, with
+    optional supervision of failing tasks.
 
     The compiler's hot path — GA fitness evaluation — is embarrassingly
     parallel across individuals.  A pool owns [jobs - 1] worker domains
@@ -13,11 +14,41 @@
     long as [f] is pure (or keeps its effects in the per-domain state of
     [map_init]).
 
-    Exceptions raised by [f] are caught on the worker, and the one raised
-    by the {e lowest} input index is re-raised on the caller once the
-    phase has drained — deterministic for any worker count. *)
+    Exceptions raised by [f] are caught on the worker and carried as
+    {!Task_error} diagnostics naming the task index and worker.  Without
+    supervision the failure at the {e lowest} input index is re-raised on
+    the caller once the phase has drained — deterministic for any worker
+    count.  With {!supervision}, failed tasks are first re-executed on
+    the calling domain in index order (bounded retries, optional
+    {!Budget} watchdog); since a pure [f] returns the same value on
+    retry, a recovered run is indistinguishable from an unfailed one.
+
+    Every task execution passes the [pool.task] failpoint site
+    ({!Failpoint.guard}), so chaos schedules can crash workers on
+    demand. *)
 
 type t
+
+exception
+  Task_error of {
+    index : int;  (** input-array index of the failed task *)
+    worker : int;  (** domain id the {e original} failure occurred on *)
+    attempts : int;  (** executions attempted, including the first *)
+    error : exn;  (** the underlying exception, unwrapped *)
+  }
+(** A task failure, located: which task, which worker, how many attempts.
+    When several tasks fail in one phase, the lowest index is raised. *)
+
+type supervision
+(** A recovery policy for failing tasks. *)
+
+val supervision : ?retries:int -> ?watchdog:Budget.t -> unit -> supervision
+(** [supervision ?retries ?watchdog ()] re-executes each failed task up
+    to [retries] more times (default 2) on the calling domain, in index
+    order.  If [watchdog] is given and expires, remaining retries are
+    abandoned and the failure surfaces immediately.  Raises
+    [Invalid_argument] on negative [retries]; [retries:0] just converts
+    worker crashes into located {!Task_error}s without re-execution. *)
 
 val default_jobs : unit -> int
 (** The worker count selected by the environment: [COMPASS_JOBS] parsed
@@ -31,25 +62,45 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?supervision:supervision -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f xs] is [Array.map f xs], evaluated on all domains of the
     pool.  Results are in input order. *)
 
-val map_init : t -> init:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array * 's list
+val map_init :
+  ?supervision:supervision ->
+  t ->
+  init:(unit -> 's) ->
+  f:('s -> 'a -> 'b) ->
+  'a array ->
+  'b array * 's list
 (** [map_init t ~init ~f xs] is [map] with per-domain local state: each
     domain that processes at least one item calls [init] once (per
     [map_init] call) and threads its state through every item it runs.
     Returns the mapped array (input order) and the local states (order
     unspecified) for the caller to merge — the GA uses this for
-    domain-local span caches. *)
+    domain-local span caches.  Supervised retries run with a fresh state
+    of their own, returned like any worker's. *)
 
-val map_local : t -> init:(unit -> 's) -> f:('s -> 'a -> 'b) -> 'a array -> 'b array
+val map_local :
+  ?supervision:supervision ->
+  t ->
+  init:(unit -> 's) ->
+  f:('s -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** {!map_init} for per-domain state the caller does not need back —
     scratch buffers, caches whose contents are pure optimization.  The
     batched inference executor uses this for per-domain im2col patch
     buffers. *)
 
-val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+val map_reduce :
+  ?supervision:supervision ->
+  t ->
+  map:('a -> 'b) ->
+  reduce:('c -> 'b -> 'c) ->
+  init:'c ->
+  'a array ->
+  'c
 (** [map_reduce t ~map ~reduce ~init xs] maps in parallel, then folds the
     results sequentially in input order — deterministic even for
     non-associative [reduce]. *)

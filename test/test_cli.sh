@@ -165,6 +165,65 @@ grep -q -- "--checkpoint /nonexistent/ck.txt: directory /nonexistent does not ex
 expect_exit 2 "--trace to a directory" "$CLI" compile -m lenet5 --quick --trace "$TMP"
 expect_stderr_line_count "--trace to a directory"
 
+# --- chaos: deterministic failpoints, supervised retries, salvage ---
+# An injected mid-write failure is a located exit-2 user error and must
+# leave neither a partial plan nor temp-file litter behind.
+expect_exit 2 "injected save failure" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --failpoints "artifact.write.mid=raise@once" --save "$TMP/chaos.plan"
+expect_stderr_line_count "injected save failure"
+grep -q "artifact.write.mid" "$TMP/err" || {
+  echo "FAIL: injected save failure diagnostic does not name the site" >&2
+  fails=$((fails + 1))
+}
+[ ! -e "$TMP/chaos.plan" ] || {
+  echo "FAIL: injected save failure left a partial plan behind" >&2
+  fails=$((fails + 1))
+}
+if ls "$TMP"/chaos.plan.tmp.* >/dev/null 2>&1; then
+  echo "FAIL: injected save failure left temp-file litter" >&2
+  fails=$((fails + 1))
+fi
+
+# A malformed --failpoints spec is itself a located exit-2 user error.
+expect_exit 2 "bad failpoints spec" "$CLI" compile -m lenet5 --quick \
+  --failpoints "artifact.write.mid=explode"
+expect_stderr_line_count "bad failpoints spec"
+grep -q "failpoint spec" "$TMP/err" || {
+  echo "FAIL: bad failpoints spec not located" >&2
+  fails=$((fails + 1))
+}
+
+# A torn checkpoint (crash mid-write) salvages: resume succeeds and says so.
+expect_exit 0 "checkpoint for tearing" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --checkpoint "$TMP/tear.ck"
+size=$(wc -c <"$TMP/tear.ck")
+head -c $((size - 7)) "$TMP/tear.ck" >"$TMP/torn.ck"
+expect_exit 0 "salvaged resume" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --resume "$TMP/torn.ck"
+grep -q "salvaged torn checkpoint" "$TMP/out" || {
+  echo "FAIL: salvaged resume printed no salvage notice" >&2
+  fails=$((fails + 1))
+}
+
+# An unsupervised injected worker crash is a located exit-2 diagnostic...
+expect_exit 2 "unsupervised pool crash" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --failpoints "pool.task=raise@nth:3"
+expect_stderr_line_count "unsupervised pool crash"
+grep -q "task 2 failed after 1 attempt(s)" "$TMP/err" || {
+  echo "FAIL: unsupervised pool crash not located to the task" >&2
+  fails=$((fails + 1))
+}
+# ...and --task-retries turns the same schedule into a clean recovery.
+expect_exit 0 "supervised pool recovery" "$CLI" compile -m lenet5 -c S -b 4 --quick \
+  --failpoints "pool.task=raise@nth:3" --task-retries 2
+
+# The self-check drill exercises the whole chaos stack end to end.
+expect_exit 0 "doctor" "$CLI" doctor
+grep -q "doctor: all .* checks passed" "$TMP/out" || {
+  echo "FAIL: doctor did not report all checks passed" >&2
+  fails=$((fails + 1))
+}
+
 # --- exit 3: internal invariant failure carries a bug-report hint ---
 COMPASS_INTERNAL_FAULT=1 "$CLI" compile -m lenet5 --quick >"$TMP/out" 2>"$TMP/err"
 got=$?

@@ -73,21 +73,122 @@ exception Boom of int
 
 let test_exception_lowest_index_wins () =
   (* Whatever the scheduling, the caller sees the failure of the lowest
-     input index — deterministic replay even for errors. *)
+     input index, wrapped in a located Task_error naming that index —
+     deterministic replay even for errors. *)
   List.iter
     (fun jobs ->
       Pool.with_pool ~jobs (fun pool ->
           let xs = Array.init 200 (fun i -> i) in
           match Pool.map pool (fun x -> if x >= 41 then raise (Boom x) else x) xs with
           | _ -> Alcotest.fail "expected an exception"
-          | exception Boom i ->
-            Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 41 i))
+          | exception Pool.Task_error { index; attempts; error = Boom i; _ } ->
+            Alcotest.(check int) (Printf.sprintf "jobs=%d index" jobs) 41 index;
+            Alcotest.(check int) (Printf.sprintf "jobs=%d payload" jobs) 41 i;
+            Alcotest.(check int) (Printf.sprintf "jobs=%d attempts" jobs) 1 attempts))
     [ 1; 2; 4 ];
   (* The pool survives a failing phase. *)
   Pool.with_pool ~jobs:2 (fun pool ->
       (try ignore (Pool.map pool (fun _ -> failwith "boom") [| 1; 2; 3 |]) with _ -> ());
       Alcotest.(check (array int)) "usable after failure" [| 2; 4; 6 |]
         (Pool.map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_supervision_recovers_transient () =
+  (* A task that fails on its first execution only: supervision re-runs
+     it and the result equals the unfailed run, for any worker count. *)
+  List.iter
+    (fun jobs ->
+      let failed_once = Atomic.make false in
+      let f x =
+        if x = 41 && not (Atomic.exchange failed_once true) then raise (Boom x)
+        else x * 3
+      in
+      Pool.with_pool ~jobs (fun pool ->
+          let xs = Array.init 100 Fun.id in
+          let got = Pool.map ~supervision:(Pool.supervision ()) pool f xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            (seq_map (fun x -> x * 3) xs)
+            got))
+    [ 1; 2; 4 ]
+
+let test_supervision_exhausts_retries () =
+  (* A persistent failure surfaces with the attempt count: 1 original
+     execution + retries. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.map
+          ~supervision:(Pool.supervision ~retries:2 ())
+          pool
+          (fun x -> if x = 5 then raise (Boom x) else x)
+          (Array.init 10 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error { index; attempts; error = Boom 5; _ } ->
+        Alcotest.(check int) "index" 5 index;
+        Alcotest.(check int) "attempts = 1 + retries" 3 attempts);
+  (* retries:0 still wraps the failure in a located diagnostic. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      match
+        Pool.map
+          ~supervision:(Pool.supervision ~retries:0 ())
+          pool
+          (fun _ -> raise (Boom 0))
+          [| 0 |]
+      with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error { attempts = 1; _ } -> ());
+  Alcotest.(check bool) "negative retries rejected" true
+    (try
+       ignore (Pool.supervision ~retries:(-1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_supervision_watchdog () =
+  (* An expired watchdog abandons retries instead of spinning. *)
+  let now = ref 0. in
+  let budget = Budget.of_deadline ~now:(fun () -> !now) 1.0 in
+  now := 5.;
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let executions = ref 0 in
+      match
+        Pool.map
+          ~supervision:(Pool.supervision ~retries:1000 ~watchdog:budget ())
+          pool
+          (fun x ->
+            incr executions;
+            raise (Boom x))
+          [| 7 |]
+      with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error { index = 0; error = Boom 7; attempts; _ } ->
+        (* Original execution only: the watchdog was already expired, so
+           no retry ran. *)
+        Alcotest.(check int) "no retry under expired watchdog" 1 !executions;
+        Alcotest.(check int) "attempts reported" 1 attempts)
+
+let test_supervision_retry_state_returned () =
+  (* The retry's fresh per-domain state is merged into the returned
+     states like any worker's, so caller-side merges stay complete. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let failed_once = ref false in
+      let out, states =
+        Pool.map_init
+          ~supervision:(Pool.supervision ())
+          pool
+          ~init:(fun () -> ref 0)
+          ~f:(fun acc x ->
+            if x = 3 && not !failed_once then begin
+              failed_once := true;
+              raise (Boom x)
+            end;
+            incr acc;
+            x)
+          (Array.init 6 Fun.id)
+      in
+      Alcotest.(check (array int)) "results" (Array.init 6 Fun.id) out;
+      Alcotest.(check int) "worker state + retry state" 2 (List.length states);
+      Alcotest.(check int) "every item counted once" 6
+        (List.fold_left (fun acc r -> acc + !r) 0 states))
 
 let test_create_guards () =
   Alcotest.(check bool) "jobs 0 rejected" true
@@ -153,5 +254,14 @@ let () =
             test_exception_lowest_index_wins;
           Alcotest.test_case "create guards" `Quick test_create_guards;
           Alcotest.test_case "COMPASS_JOBS parsing" `Quick test_default_jobs_env;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "recovers transient failures" `Quick
+            test_supervision_recovers_transient;
+          Alcotest.test_case "exhausts retries" `Quick test_supervision_exhausts_retries;
+          Alcotest.test_case "watchdog bounds retries" `Quick test_supervision_watchdog;
+          Alcotest.test_case "retry state returned" `Quick
+            test_supervision_retry_state_returned;
         ] );
     ]
