@@ -5,7 +5,7 @@
    Sections (pass names as arguments to run a subset; default = all):
      table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 validate ablation envm
      quant stability onchip model_ablation parallel faults recover dp micro
-     observe infer chaos
+     observe infer chaos serve
 
    The experiment index lives in DESIGN.md; measured-vs-paper numbers are
    recorded in EXPERIMENTS.md. *)
@@ -1322,6 +1322,127 @@ let chaos () =
         (100. *. ((supervised /. plain) -. 1.)))
 
 (* -------------------------------------------------------------------- *)
+(* Serving runtime: envelope floor, dispatch overhead, latency tail     *)
+
+let serve () =
+  section_banner "serve"
+    "serving-engine envelope floor, dispatch overhead vs a direct call \
+     (budget: <5%) and request latency quantiles";
+  let open Compass_serve in
+  Metrics.reset ();
+  Metrics.enable ();
+  let not_ok = ref 0 in
+  let server =
+    Server.create
+      ~respond:(fun r ->
+        match r.Protocol.status with
+        | Protocol.Ok | Protocol.Degraded -> ()
+        | _ -> incr not_ok)
+      ()
+  in
+  Fun.protect ~finally:(fun () ->
+      Server.close server;
+      Metrics.disable ();
+      Metrics.reset ())
+  @@ fun () ->
+  (* Envelope floor: a ping exercises parse + admission + dispatch +
+     response assembly and no compiler work at all. *)
+  let pings = 10_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to pings do
+    Server.submit server [ Printf.sprintf "request p%d ping" i ]
+  done;
+  let ping_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "envelope floor: %d pings in %s (%.1f us/request)\n" pings
+    (Units.time_to_string ping_s)
+    (ping_s /. float_of_int pings *. 1e6);
+  (* Dispatch overhead: the same inference done through a request
+     envelope and as a direct library call.  The engine's path adds
+     parsing, admission, budget plumbing and digesting — it must stay
+     a rounding error next to the forward passes themselves. *)
+  let model_name = "squeezenet" and batch = 2 and seed = 11 in
+  let model = Compass_nn.Models.by_name model_name in
+  let digest out =
+    let data = Compass_nn.Tensor.to_array out in
+    let b = Buffer.create (8 * Array.length data) in
+    Array.iter (fun v -> Buffer.add_int64_le b (Int64.bits_of_float v)) data;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
+  let direct () =
+    let weights = Compass_nn.Executor.random_weights ~seed model in
+    let inputs =
+      Array.init batch (fun i ->
+          Compass_nn.Executor.random_input ~seed:(seed + 100 + i) model)
+    in
+    let outputs = Compass_nn.Executor.output_batch model weights inputs in
+    Array.iter (fun out -> ignore (digest out)) outputs
+  in
+  let engine () =
+    Server.submit server
+      [
+        "request bench-infer infer";
+        Printf.sprintf "model %s" model_name;
+        Printf.sprintf "batch %d" batch;
+        Printf.sprintf "seed %d" seed;
+      ];
+    while Server.step server do
+      ()
+    done
+  in
+  let median f =
+    f ();
+    (* warm-up *)
+    let a =
+      Array.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Unix.gettimeofday () -. t0)
+    in
+    Array.sort compare a;
+    a.(2)
+  in
+  let direct_s = median direct in
+  let engine_s = median engine in
+  let overhead = 100. *. ((engine_s /. direct_s) -. 1.) in
+  Printf.printf
+    "infer %s batch %d: direct %s, via engine %s (medians of 5)\n" model_name
+    batch
+    (Units.time_to_string direct_s)
+    (Units.time_to_string engine_s);
+  Printf.printf "serve dispatch overhead: %.2f%% (budget 5%%) %s\n" overhead
+    (if overhead < 5. then "PASS" else "FAIL");
+  (* Latency tail over a mixed workload, read back from the same
+     serve.latency_s histogram the daemon flushes with --metrics. *)
+  let compile i =
+    [
+      Printf.sprintf "request c%d compile" i;
+      "model lenet5";
+      "chip S";
+      "batch 4";
+      Printf.sprintf "seed %d" i;
+    ]
+  in
+  for i = 1 to 4 do
+    Server.submit server (compile i);
+    engine ()
+  done;
+  while Server.step server do
+    ()
+  done;
+  let count =
+    Option.value ~default:0 (Metrics.find_int "serve.latency_s.count")
+  in
+  let q p =
+    match Metrics.quantile "serve.latency_s" p with
+    | Some v -> Units.time_to_string v
+    | None -> "n/a"
+  in
+  Printf.printf "latency (%d timed requests): p50 %s, p99 %s\n" count (q 0.5)
+    (q 0.99);
+  Printf.printf "serve responses all ok: %s\n"
+    (if !not_ok = 0 then "PASS" else Printf.sprintf "FAIL (%d not ok)" !not_ok)
+
+(* -------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1348,6 +1469,7 @@ let sections =
     ("observe", observe);
     ("infer", infer);
     ("chaos", chaos);
+    ("serve", serve);
   ]
 
 let () =

@@ -8,6 +8,8 @@
      sweep     compare compass/greedy/layerwise across workloads (Fig. 6)
      gap       optimality gap of every scheme against the exact DP bound
      infer     host functional inference throughput (im2col/GEMM engine)
+     serve     long-lived request daemon (admission control, deadlines,
+               circuit breaker, graceful drain; wire format in FORMATS.md)
 
    Exit codes (documented in README.md):
      0  success
@@ -864,6 +866,170 @@ let gap_cmd =
       const run $ model_arg $ chip_arg $ batch_arg $ objective_arg $ seed_arg
       $ jobs_arg $ quick_arg $ trace_arg $ metrics_arg)
 
+(* serve: the resilient long-lived daemon (lib/serve).  Stdio by default
+   — stdout is the protocol channel, banners go to stderr — or a unix
+   socket with --socket.  First SIGTERM/SIGINT drains (stop admitting,
+   finish in-flight work, flush observability, exit 0); a second signal
+   aborts with exit 3. *)
+
+let serve_cmd =
+  let module Server = Compass_serve.Server in
+  let module Protocol = Compass_serve.Protocol in
+  let run socket deadline queue_high queue_low retries backoff breaker_threshold
+      breaker_cooldown seed jobs trace metrics failpoints =
+   guard @@ fun () ->
+    arm_failpoints failpoints;
+    Option.iter (fun path -> ensure_writable ~flag:"--socket" path) socket;
+    with_observability ~trace ~metrics @@ fun () ->
+    let stop = ref false in
+    let handler signal =
+      if !stop then begin
+        Printf.eprintf "compass: serve: second signal (%d) — aborting drain\n%!" signal;
+        Stdlib.exit 3
+      end
+      else stop := true
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    let out = ref Stdlib.stdout in
+    let respond resp =
+      (* A client that hung up must not take the daemon — or the drain of
+         everything still queued — down with it. *)
+      try
+        output_string !out (Protocol.response_to_string resp);
+        Stdlib.flush !out
+      with Sys_error _ -> ()
+    in
+    let jobs =
+      if jobs <= 0 then min 128 (max 1 (Domain.recommended_domain_count ()))
+      else min 128 jobs
+    in
+    let config =
+      {
+        Server.default_config with
+        Server.queue_high;
+        queue_low =
+          (match queue_low with Some l -> l | None -> max 1 (queue_high / 2));
+        default_deadline_s = deadline;
+        max_retries = retries;
+        retry_backoff_s = backoff;
+        breaker_threshold;
+        breaker_cooldown_s = breaker_cooldown;
+        seed;
+        jobs;
+        sleep = Unix.sleepf;
+      }
+    in
+    let server = Server.create ~config ~respond () in
+    Fun.protect ~finally:(fun () -> Server.close server) @@ fun () ->
+    let stop () = !stop in
+    (match socket with
+    | None ->
+      Printf.eprintf "compass serve: reading requests from stdin (end with EOF)\n%!";
+      (match Server.run_fd server ~stop Unix.stdin with `Eof | `Stopped -> ())
+    | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          if Sys.file_exists path then Sys.remove path)
+      @@ fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Printf.eprintf "compass serve: listening on %s (SIGTERM drains)\n%!" path;
+      let rec accept_loop () =
+        if stop () then ()
+        else
+          match Unix.select [ sock ] [] [] 0.1 with
+          | [ _ ], _, _ ->
+            let conn, _ = Unix.accept sock in
+            let ch = Unix.out_channel_of_descr conn in
+            out := ch;
+            let outcome = Server.run_fd server ~stop conn in
+            (* Finish this client's queued work before hanging up — but
+               keep admitting from the next connection, so only answer
+               the queue, don't enter the drain state. *)
+            while Server.step server do () done;
+            (try Stdlib.flush ch with Sys_error _ -> ());
+            out := Stdlib.stdout;
+            (try Unix.close conn with Unix.Unix_error _ -> ());
+            (match outcome with `Eof -> accept_loop () | `Stopped -> ())
+          | _ -> accept_loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ());
+    Server.drain server;
+    Printf.eprintf "compass serve: drained; %d response(s) emitted\n%!"
+      (Server.responded server)
+  in
+  let socket_arg =
+    let doc =
+      "Listen on a unix-domain socket at $(docv) (one connection at a time) \
+       instead of stdin/stdout.  The socket file is created at startup and \
+       unlinked on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request deadline in seconds, applied when a request carries \
+       no $(b,deadline) line.  Expired compiles return best-so-far plans marked \
+       $(b,degraded); expired inferences are cancelled between layers and \
+       answered $(b,timeout)."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let queue_high_arg =
+    let doc =
+      "Admission-queue high watermark: past $(docv) queued requests, new work \
+       is rejected with an $(b,overloaded) note until the queue drains below \
+       the low watermark."
+    in
+    Arg.(value & opt int 64 & info [ "queue-high" ] ~docv:"N" ~doc)
+  in
+  let queue_low_arg =
+    let doc = "Admission-queue low watermark (default: half the high one)." in
+    Arg.(value & opt (some int) None & info [ "queue-low" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Re-execute a request that failed transiently (injected failpoints, \
+       simulated syscall errors, pool worker crashes) up to $(docv) times, \
+       with doubling backoff, before answering $(b,error)."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Initial retry backoff in seconds (doubles per retry)." in
+    Arg.(value & opt float 0.01 & info [ "retry-backoff" ] ~docv:"SECS" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc =
+      "Open a request class's circuit breaker after $(docv) consecutive \
+       failures; while open, requests of that class are rejected immediately."
+    in
+    Arg.(value & opt int 5 & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc =
+      "Initial breaker cooldown in seconds before a half-open probe; doubles \
+       per consecutive open (with seeded jitter), capped at 60."
+    in
+    Arg.(value & opt float 1.0 & info [ "breaker-cooldown" ] ~docv:"SECS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived request daemon: newline-delimited compile/infer/verify \
+          requests over stdin/stdout or a unix socket, with bounded admission, \
+          per-request deadlines, per-class circuit breakers, transient-failure \
+          retry and graceful drain on SIGTERM.  Wire format in docs/FORMATS.md.")
+    Term.(
+      const run $ socket_arg $ deadline_arg $ queue_high_arg $ queue_low_arg
+      $ retries_arg $ backoff_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+      $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ failpoints_arg)
+
 (* doctor: self-check of the chaos machinery — supervision, crash
    consistency, salvage.  Runs entirely against temp files and a tiny
    lenet5 search; exit 0 when every drill passes, 1 otherwise. *)
@@ -878,10 +1044,10 @@ let doctor_cmd =
     let check name f =
       incr checks;
       match f () with
-      | () -> Printf.printf "doctor: %-26s ok\n%!" name
+      | () -> Printf.printf "doctor: %-30s ok\n%!" name
       | exception e ->
         incr failures;
-        Printf.printf "doctor: %-26s FAIL: %s\n%!" name (Printexc.to_string e)
+        Printf.printf "doctor: %-30s FAIL: %s\n%!" name (Printexc.to_string e)
     in
     let with_temp_dir f =
       let dir = Filename.temp_file "compass-doctor" "" in
@@ -983,6 +1149,54 @@ let doctor_cmd =
         expect
           (s.Plan_text.generation = last.Ga.ck_generation)
           "torn-history salvage lost the newest generation");
+    check "serve socket lifecycle" (fun () ->
+        (* The daemon's socket plumbing, end to end: create, bind (file
+           appears), listen, connect, accept, round-trip one framed ping
+           request's bytes, unlink (file gone). *)
+        with_temp_dir @@ fun dir ->
+        let path = Filename.concat dir "compass.sock" in
+        let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close srv with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.bind srv (Unix.ADDR_UNIX path);
+            Unix.listen srv 1;
+            expect (Sys.file_exists path) "bind did not create the socket file";
+            let client = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close client with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.connect client (Unix.ADDR_UNIX path);
+                let conn, _ = Unix.accept srv in
+                Fun.protect
+                  ~finally:(fun () ->
+                    try Unix.close conn with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    let msg = "request doctor-1 ping\nend\n" in
+                    let n = Unix.write_substring client msg 0 (String.length msg) in
+                    expect (n = String.length msg) "short write on the socket";
+                    let buf = Bytes.create 64 in
+                    let n = Unix.read conn buf 0 64 in
+                    expect
+                      (Bytes.sub_string buf 0 n = msg)
+                      "socket did not round-trip the request bytes")));
+        Sys.remove path;
+        expect (not (Sys.file_exists path)) "unlink left the socket file behind");
+    check "serve signal handling" (fun () ->
+        (* The drain path's first move is installing a SIGTERM handler;
+           verify a handler installed the same way actually runs. *)
+        let hit = ref false in
+        let prev = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> hit := true)) in
+        Fun.protect
+          ~finally:(fun () -> Sys.set_signal Sys.sigterm prev)
+          (fun () ->
+            Unix.kill (Unix.getpid ()) Sys.sigterm;
+            let deadline = Unix.gettimeofday () +. 1.0 in
+            while (not !hit) && Unix.gettimeofday () < deadline do
+              ignore (Sys.opaque_identity (ref 0))
+            done;
+            expect !hit "SIGTERM handler did not run within 1 s"));
     check "salvage rejects hopeless input" (fun () ->
         (match Plan_text.salvage_of_string "not a checkpoint at all" with
         | _ -> failwith "garbage salvaged"
@@ -1015,5 +1229,6 @@ let () =
           (Cmd.info "compass" ~version:"1.0.0" ~doc)
           [
             info_cmd; compile_cmd; validity_cmd; sweep_cmd; gap_cmd; schedule_cmd;
-            model_cmd; explore_cmd; plan_cmd; verify_cmd; infer_cmd; doctor_cmd;
+            model_cmd; explore_cmd; plan_cmd; verify_cmd; infer_cmd; serve_cmd;
+            doctor_cmd;
           ]))

@@ -7,10 +7,21 @@ type policy = {
   backoff_s : float;
   allow_remap : bool;
   budget : Compass_util.Budget.t option;
+  sleep : float -> unit;
 }
 
 let default_policy =
-  { max_retries = 2; max_remaps = 4; backoff_s = 1e-4; allow_remap = true; budget = None }
+  {
+    max_retries = 2;
+    max_remaps = 4;
+    backoff_s = 1e-4;
+    allow_remap = true;
+    budget = None;
+    (* Backoff is simulated, never slept: recovery must not block the
+       request on wall-clock waits, and tests with simulated time must
+       not flake.  Callers that really want to wait inject a sleep. *)
+    sleep = ignore;
+  }
 
 type action =
   | Detected of {
@@ -249,6 +260,7 @@ let run ?(policy = default_policy) ?(seed = 0) ?faults ~weights ~input plan0 =
           while !mismatches <> [] && !attempt < policy.max_retries && not (expired ()) do
             let backoff = policy.backoff_s *. (2. ** float_of_int !attempt) in
             backoff_total := !backoff_total +. backoff;
+            policy.sleep backoff;
             incr retries;
             metric "recovery.retries";
             push (Retried { node; attempt = !attempt; backoff_s = backoff });

@@ -30,7 +30,15 @@ type policy = {
   allow_remap : bool;  (** False confines recovery to retry + degrade. *)
   budget : Compass_util.Budget.t option;
       (** Per-request deadline: when expired, retries and remaps stop and
-          the run degrades instead of blocking the request. *)
+          the run degrades instead of blocking the request.  Deadlines
+          read the budget's own injectable clock — recovery never reads
+          the wall clock directly. *)
+  sleep : float -> unit;
+      (** Invoked with each retry's backoff interval.  Default [ignore]:
+          backoff is {e simulated} (accumulated in [backoff_total_s]) and
+          recovery never blocks on [Unix.sleepf], so runs under a fake
+          clock are deterministic and wall-time-free — a regression test
+          pins this.  Inject a real sleep to actually wait. *)
 }
 
 val default_policy : policy

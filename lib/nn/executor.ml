@@ -13,6 +13,21 @@ let engine_to_string = function
   | Naive -> "naive"
   | Gemm -> "gemm"
 
+exception Cancelled
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled -> Some "Executor.Cancelled (inference deadline expired)"
+    | _ -> None)
+
+(* Deadline poll at layer granularity: cheap enough to run per node, and
+   the only cancellation points where every sample of a batch is in a
+   consistent not-yet-started state. *)
+let check_budget budget =
+  match budget with
+  | Some b when Compass_util.Budget.expired b -> raise Cancelled
+  | Some _ | None -> ()
+
 let random_weights ?(seed = 7) ?(scale = 0.1) g =
   let rng = Compass_util.Rng.create seed in
   let weights = Hashtbl.create 32 in
@@ -102,11 +117,12 @@ let layer_span_args g node =
     ("kind", Layer.op_kind (Graph.layer g node).Layer.op);
   ]
 
-let run ?engine g weights input =
+let run ?engine ?budget g weights input =
   let outputs : (Graph.node, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
   let scratch = Im2col.create_scratch () in
   List.iter
     (fun node ->
+      check_budget budget;
       let result =
         match (Graph.layer g node).Layer.op with
         | Layer.Input shape ->
@@ -125,16 +141,16 @@ let run ?engine g weights input =
     | Some t -> t
     | None -> invalid_arg "Executor.run: unknown node"
 
-let output ?engine g weights input =
+let output ?engine ?budget g weights input =
   match Graph.exit_nodes g with
-  | [ exit ] -> run ?engine g weights input exit
+  | [ exit ] -> run ?engine ?budget g weights input exit
   | _ -> invalid_arg "Executor.output: expected exactly one exit"
 
 (* Batched traversal: one walk of the graph evaluates every sample at
    each layer, optionally fanning the batch across pool domains.
    [Pool.map]/[map_local] preserve input order, so results are
    deterministic for any worker count; the engine draws no randomness. *)
-let run_batch ?(engine = Gemm) ?pool ?supervision g weights inputs =
+let run_batch ?(engine = Gemm) ?budget ?pool ?supervision g weights inputs =
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Executor.run_batch: empty batch";
   Compass_util.Failpoint.guard "executor.batch";
@@ -147,6 +163,7 @@ let run_batch ?(engine = Gemm) ?pool ?supervision g weights inputs =
   let outputs : (Graph.node, Tensor.t array) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun node ->
+      check_budget budget;
       let results =
         match (Graph.layer g node).Layer.op with
         | Layer.Input shape ->
@@ -178,7 +195,7 @@ let run_batch ?(engine = Gemm) ?pool ?supervision g weights inputs =
     | Some t -> t
     | None -> invalid_arg "Executor.run_batch: unknown node"
 
-let output_batch ?engine ?pool ?supervision g weights inputs =
+let output_batch ?engine ?budget ?pool ?supervision g weights inputs =
   match Graph.exit_nodes g with
-  | [ exit ] -> run_batch ?engine ?pool ?supervision g weights inputs exit
+  | [ exit ] -> run_batch ?engine ?budget ?pool ?supervision g weights inputs exit
   | _ -> invalid_arg "Executor.output_batch: expected exactly one exit"

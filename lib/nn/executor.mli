@@ -21,6 +21,13 @@ type engine =
   | Naive  (** Scalar nested loops — the oracle. *)
   | Gemm  (** Im2col + cache-blocked GEMM — bit-identical, much faster. *)
 
+exception Cancelled
+(** Raised by {!run}/{!run_batch} (and the [output] wrappers) when the
+    [?budget] token expires: the traversal checks the deadline at every
+    layer boundary, so a timed-out inference is abandoned between layers
+    rather than mid-kernel or not at all.  The serving runtime maps this
+    to a [timeout] response envelope. *)
+
 val engine_of_string : string -> engine option
 (** ["naive"] / ["gemm"]. *)
 
@@ -34,18 +41,26 @@ val random_input : ?seed:int -> Graph.t -> Tensor.t
 (** A deterministic random tensor matching the graph's [Input] shape.
     Raises [Invalid_argument] on graphs without exactly one input. *)
 
-val run : ?engine:engine -> Graph.t -> weights -> Tensor.t -> (Graph.node -> Tensor.t)
+val run :
+  ?engine:engine ->
+  ?budget:Compass_util.Budget.t ->
+  Graph.t ->
+  weights ->
+  Tensor.t ->
+  (Graph.node -> Tensor.t)
 (** [run g weights input] executes the whole graph and returns a lookup of
     every node's output tensor.  Raises [Invalid_argument] on missing
     weights or shape violations (the latter cannot happen for validated
-    graphs). *)
+    graphs).  [?budget] is polled at every layer boundary; expiry raises
+    {!Cancelled}. *)
 
-val output : ?engine:engine -> Graph.t -> weights -> Tensor.t -> Tensor.t
+val output : ?engine:engine -> ?budget:Compass_util.Budget.t -> Graph.t -> weights -> Tensor.t -> Tensor.t
 (** The unique exit node's tensor.  Raises [Invalid_argument] when the
-    graph has several exits. *)
+    graph has several exits, {!Cancelled} on budget expiry. *)
 
 val run_batch :
   ?engine:engine ->
+  ?budget:Compass_util.Budget.t ->
   ?pool:Compass_util.Pool.t ->
   ?supervision:Compass_util.Pool.supervision ->
   Graph.t ->
@@ -66,6 +81,7 @@ val run_batch :
 
 val output_batch :
   ?engine:engine ->
+  ?budget:Compass_util.Budget.t ->
   ?pool:Compass_util.Pool.t ->
   ?supervision:Compass_util.Pool.supervision ->
   Graph.t ->
@@ -73,7 +89,9 @@ val output_batch :
   Tensor.t array ->
   Tensor.t array
 (** The unique exit node's tensors, one per batch sample.  Raises
-    [Invalid_argument] when the graph has several exits. *)
+    [Invalid_argument] when the graph has several exits, {!Cancelled} on
+    budget expiry (checked between layers — a whole-batch layer either
+    completes for every sample or has not started). *)
 
 val apply_node :
   ?engine:engine ->

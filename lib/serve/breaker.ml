@@ -1,0 +1,118 @@
+type state =
+  | Closed
+  | Open of float  (* absolute time the cooldown ends *)
+  | Half_open  (* probe admitted, outcome pending *)
+
+type cls = {
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opens : int;  (* consecutive opens, drives cooldown doubling *)
+}
+
+type t = {
+  threshold : int;
+  cooldown_s : float;
+  max_cooldown_s : float;
+  now : unit -> float;
+  rng : Compass_util.Rng.t;
+  classes : (string, cls) Hashtbl.t;
+}
+
+let metric = Compass_util.Metrics.incr
+
+let create ?(threshold = 5) ?(cooldown_s = 1.0) ?(max_cooldown_s = 60.) ?(seed = 0) ~now
+    () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if not (cooldown_s > 0.) then invalid_arg "Breaker.create: cooldown_s <= 0";
+  {
+    threshold;
+    cooldown_s;
+    max_cooldown_s;
+    now;
+    rng = Compass_util.Rng.create seed;
+    classes = Hashtbl.create 8;
+  }
+
+let find t cls =
+  match Hashtbl.find_opt t.classes cls with
+  | Some c -> c
+  | None ->
+    let c = { state = Closed; consecutive_failures = 0; opens = 0 } in
+    Hashtbl.add t.classes cls c;
+    c
+
+(* Doubling cooldown with seeded jitter in [1, 1.25): deterministic for
+   a given seed, decorrelated across seeds. *)
+let next_cooldown t c =
+  let base = t.cooldown_s *. (2. ** float_of_int (min c.opens 16)) in
+  let jitter = 1. +. (0.25 *. Compass_util.Rng.float t.rng 1.) in
+  Float.min t.max_cooldown_s (base *. jitter)
+
+let open_class t cls_name c =
+  let cooldown = next_cooldown t c in
+  c.state <- Open (t.now () +. cooldown);
+  c.opens <- c.opens + 1;
+  metric "serve.breaker.opened";
+  Compass_util.Trace.with_span "serve.breaker.open"
+    ~args:[ ("class", cls_name) ]
+    (fun () -> ())
+
+type decision =
+  | Admit
+  | Probe
+  | Reject of string
+
+let admit t cls_name =
+  let c = find t cls_name in
+  match c.state with
+  | Closed -> Admit
+  | Half_open ->
+    metric "serve.breaker.rejected";
+    Reject (Printf.sprintf "circuit for %s half-open: probe in flight" cls_name)
+  | Open until ->
+    if t.now () >= until then begin
+      c.state <- Half_open;
+      metric "serve.breaker.probes";
+      Probe
+    end
+    else begin
+      metric "serve.breaker.rejected";
+      Reject
+        (Printf.sprintf "circuit for %s open: %d consecutive failure(s)" cls_name
+           c.consecutive_failures)
+    end
+
+let record t cls_name ~ok =
+  let c = find t cls_name in
+  if ok then begin
+    if c.state <> Closed || c.consecutive_failures > 0 then
+      metric "serve.breaker.closed";
+    c.state <- Closed;
+    c.consecutive_failures <- 0;
+    c.opens <- 0
+  end
+  else begin
+    c.consecutive_failures <- c.consecutive_failures + 1;
+    match c.state with
+    | Half_open -> open_class t cls_name c (* failed probe: straight back open *)
+    | Closed ->
+      if c.consecutive_failures >= t.threshold then open_class t cls_name c
+    | Open _ -> ()
+  end
+
+let cancel_probe t cls_name =
+  let c = find t cls_name in
+  match c.state with
+  | Half_open -> c.state <- Open (t.now ())
+  | Closed | Open _ -> ()
+
+let state_name t cls_name =
+  match (find t cls_name).state with
+  | Closed -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half_open"
+
+let cooldown_remaining_s t cls_name =
+  match (find t cls_name).state with
+  | Open until -> Float.max 0. (until -. t.now ())
+  | Closed | Half_open -> 0.

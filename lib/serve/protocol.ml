@@ -1,0 +1,301 @@
+type kind =
+  | Compile
+  | Infer
+  | Verify
+  | Ping
+
+let kind_to_string = function
+  | Compile -> "compile"
+  | Infer -> "infer"
+  | Verify -> "verify"
+  | Ping -> "ping"
+
+let kind_of_string = function
+  | "compile" -> Some Compile
+  | "infer" -> Some Infer
+  | "verify" -> Some Verify
+  | "ping" -> Some Ping
+  | _ -> None
+
+type request = {
+  id : string;
+  kind : kind;
+  model : string;
+  chip : string;
+  batch : int;
+  scheme : string;
+  objective : string;
+  deadline_s : float option;
+  seed : int;
+  quick : bool;
+  payload : string list;
+}
+
+let default_request =
+  {
+    id = "-";
+    kind = Ping;
+    model = "lenet5";
+    chip = "S";
+    batch = 1;
+    scheme = "compass";
+    objective = "latency";
+    deadline_s = None;
+    seed = 0;
+    quick = true;
+    payload = [];
+  }
+
+(* An id is echoed into the response header, so it must stay a single
+   token: no whitespace, bounded length. *)
+let valid_id id =
+  let n = String.length id in
+  n >= 1 && n <= 64
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+         | _ -> false)
+       id
+
+let split_kv line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let parse_request lines =
+  let err n msg = Error (Printf.sprintf "line %d: %s" n msg) in
+  match lines with
+  | [] -> Error "empty request block"
+  | header :: rest -> (
+    match String.split_on_char ' ' header with
+    | [ "request"; id; kind ] -> (
+      if not (valid_id id) then
+        err 1 "request id must be 1-64 characters of [A-Za-z0-9._:-]"
+      else
+        match kind_of_string kind with
+        | None ->
+          err 1
+            (Printf.sprintf "unknown request kind %s (try compile, infer, verify, ping)"
+               kind)
+        | Some kind ->
+          let r = ref { default_request with id; kind } in
+          let rec fields n = function
+            | [] -> Result.Ok !r
+            | line :: tl -> (
+              let key, v = split_kv line in
+              let int_field name set =
+                match int_of_string_opt v with
+                | Some x -> set x; fields (n + 1) tl
+                | None -> err n (Printf.sprintf "%s: expected an integer, got %S" name v)
+              in
+              match key with
+              | "model" when v <> "" -> r := { !r with model = v }; fields (n + 1) tl
+              | "chip" when v <> "" -> r := { !r with chip = v }; fields (n + 1) tl
+              | "scheme" when v <> "" -> r := { !r with scheme = v }; fields (n + 1) tl
+              | "objective" when v <> "" ->
+                r := { !r with objective = v };
+                fields (n + 1) tl
+              | "batch" -> int_field "batch" (fun x -> r := { !r with batch = x })
+              | "seed" -> int_field "seed" (fun x -> r := { !r with seed = x })
+              | "deadline" -> (
+                match float_of_string_opt v with
+                | Some s when s >= 0. && not (Float.is_nan s) ->
+                  r := { !r with deadline_s = Some s };
+                  fields (n + 1) tl
+                | Some _ | None ->
+                  err n (Printf.sprintf "deadline: expected seconds >= 0, got %S" v))
+              | "quick" -> (
+                match bool_of_string_opt v with
+                | Some b -> r := { !r with quick = b }; fields (n + 1) tl
+                | None -> err n (Printf.sprintf "quick: expected true/false, got %S" v))
+              | "payload" -> (
+                match int_of_string_opt v with
+                | Some count when count >= 0 && count = List.length tl ->
+                  r := { !r with payload = tl };
+                  Result.Ok !r
+                | Some count ->
+                  err n
+                    (Printf.sprintf "payload: declared %d line(s), block carries %d"
+                       count (List.length tl))
+                | None -> err n (Printf.sprintf "payload: expected a count, got %S" v))
+              | _ -> err n (Printf.sprintf "unknown request field %S" key))
+          in
+          fields 2 rest)
+    | "request" :: _ -> err 1 "expected: request <id> <kind>"
+    | _ -> err 1 (Printf.sprintf "expected a request header, got %S" header))
+
+let request_to_lines r =
+  let base =
+    [
+      Printf.sprintf "request %s %s" r.id (kind_to_string r.kind);
+      "model " ^ r.model;
+      "chip " ^ r.chip;
+      Printf.sprintf "batch %d" r.batch;
+      "scheme " ^ r.scheme;
+      "objective " ^ r.objective;
+      Printf.sprintf "seed %d" r.seed;
+      Printf.sprintf "quick %b" r.quick;
+    ]
+  in
+  let deadline =
+    match r.deadline_s with
+    | None -> []
+    | Some s -> [ "deadline " ^ Compass_util.Artifact.float_token s ]
+  in
+  let payload =
+    match r.payload with
+    | [] -> []
+    | lines -> Printf.sprintf "payload %d" (List.length lines) :: lines
+  in
+  base @ deadline @ payload @ [ "end" ]
+
+type status =
+  | Ok
+  | Degraded
+  | Rejected
+  | Timeout
+  | Error
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Degraded -> "degraded"
+  | Rejected -> "rejected"
+  | Timeout -> "timeout"
+  | Error -> "error"
+
+let status_of_string = function
+  | "ok" -> Some Ok
+  | "degraded" -> Some Degraded
+  | "rejected" -> Some Rejected
+  | "timeout" -> Some Timeout
+  | "error" -> Some Error
+  | _ -> None
+
+type response = {
+  r_id : string;
+  status : status;
+  elapsed_s : float;
+  note : string option;
+  body : string list;
+}
+
+(* A note is a single line of the envelope: collapse any embedded
+   newlines from exception messages rather than corrupting the frame. *)
+let one_line s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let response_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "response %s %s\n" r.r_id (status_to_string r.status));
+  Buffer.add_string b
+    ("elapsed " ^ Compass_util.Artifact.float_token r.elapsed_s ^ "\n");
+  (match r.note with
+  | Some note -> Buffer.add_string b ("note " ^ one_line note ^ "\n")
+  | None -> ());
+  (match r.body with
+  | [] -> ()
+  | body ->
+    Buffer.add_string b (Printf.sprintf "payload %d\n" (List.length body));
+    List.iter
+      (fun line ->
+        Buffer.add_string b line;
+        Buffer.add_char b '\n')
+      body);
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let parse_response text =
+  let err n msg = Result.Error (Printf.sprintf "line %d: %s" n msg) in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           let l = if String.length l > 0 && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l
+           in
+           Some l)
+  in
+  let lines =
+    (* Drop a trailing empty line from the final newline, and the [end]. *)
+    let rec strip = function
+      | [ "" ] | [ "end" ] | [ "end"; "" ] -> []
+      | x :: tl -> x :: strip tl
+      | [] -> []
+    in
+    strip lines
+  in
+  match lines with
+  | [] -> Result.Error "empty response"
+  | header :: rest -> (
+    match String.split_on_char ' ' header with
+    | [ "response"; id; st ] -> (
+      match status_of_string st with
+      | None -> err 1 (Printf.sprintf "unknown status %S" st)
+      | Some status ->
+        let r = ref { r_id = id; status; elapsed_s = 0.; note = None; body = [] } in
+        let rec fields n = function
+          | [] -> Result.Ok !r
+          | line :: tl -> (
+            let key, v = split_kv line in
+            match key with
+            | "elapsed" -> (
+              match float_of_string_opt v with
+              | Some s -> r := { !r with elapsed_s = s }; fields (n + 1) tl
+              | None -> err n (Printf.sprintf "elapsed: bad float %S" v))
+            | "note" -> r := { !r with note = Some v }; fields (n + 1) tl
+            | "payload" -> (
+              match int_of_string_opt v with
+              | Some count when count = List.length tl ->
+                r := { !r with body = tl };
+                Result.Ok !r
+              | Some count ->
+                err n
+                  (Printf.sprintf "payload: declared %d line(s), block carries %d" count
+                     (List.length tl))
+              | None -> err n (Printf.sprintf "payload: expected a count, got %S" v))
+            | _ -> err n (Printf.sprintf "unknown response field %S" key))
+        in
+        fields 2 rest)
+    | _ -> err 1 (Printf.sprintf "expected a response header, got %S" header))
+
+module Framer = struct
+  type t = {
+    mutable acc : string list;  (* reversed lines of the current block *)
+    mutable raw_left : int;  (* payload lines still owed to the block *)
+    mutable in_block : bool;
+  }
+
+  let create () = { acc = []; raw_left = 0; in_block = false }
+  let partial t = t.in_block
+
+  let finish t =
+    let block = List.rev t.acc in
+    t.acc <- [];
+    t.raw_left <- 0;
+    t.in_block <- false;
+    Some block
+
+  let feed t line =
+    if t.raw_left > 0 then begin
+      t.acc <- line :: t.acc;
+      t.raw_left <- t.raw_left - 1;
+      None
+    end
+    else if (not t.in_block) && String.trim line = "" then None
+    else if line = "end" then
+      if t.in_block then finish t
+      else None (* stray [end] between blocks: ignore *)
+    else begin
+      t.in_block <- true;
+      t.acc <- line :: t.acc;
+      (match split_kv line with
+      | "payload", v -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> t.raw_left <- n
+        | Some _ | None -> ())
+      | _ -> ());
+      None
+    end
+end

@@ -4,6 +4,7 @@ type t = {
   mutable last : float;  (* monotonization watermark *)
   mutable cancelled : bool;
   mutable tripped : bool;
+  mutable hooks : (unit -> unit) list;  (* run once, at the tripping poll *)
 }
 
 let default_clock = Unix.gettimeofday
@@ -15,6 +16,7 @@ let unlimited () =
     last = neg_infinity;
     cancelled = false;
     tripped = false;
+    hooks = [];
   }
 
 let of_deadline ?(now = default_clock) seconds =
@@ -27,9 +29,12 @@ let of_deadline ?(now = default_clock) seconds =
     last = t0;
     cancelled = false;
     tripped = false;
+    hooks = [];
   }
 
 let cancel t = t.cancelled <- true
+
+let on_expiry t f = if t.tripped then f () else t.hooks <- f :: t.hooks
 
 (* Clock reads never move backwards: a wall-clock step back must not
    resurrect an expired deadline mid-search. *)
@@ -44,7 +49,14 @@ let expired t =
     t.tripped || t.cancelled
     || match t.deadline with None -> false | Some d -> clock t >= d
   in
-  if e then t.tripped <- true;
+  if e && not t.tripped then begin
+    t.tripped <- true;
+    let hooks = t.hooks in
+    t.hooks <- [];
+    (* Registration order; a hook that raises aborts the poll like any
+       exception at the polling site would. *)
+    List.iter (fun f -> f ()) (List.rev hooks)
+  end;
   e
 
 let exhausted t = t.tripped

@@ -31,6 +31,13 @@ val of_deadline : ?now:(unit -> float) -> float -> t
 val cancel : t -> unit
 (** Expire the token immediately (co-operative cancellation). *)
 
+val on_expiry : t -> (unit -> unit) -> unit
+(** [on_expiry t f] runs [f] once, at the first {!expired} poll that
+    observes the token expired (i.e. on the polling domain, inside that
+    poll).  A hook registered after the token already tripped runs
+    immediately.  The serving runtime uses this to count per-request
+    deadline expiries without polluting the polling sites. *)
+
 val expired : t -> bool
 (** Whether the token is past its deadline or cancelled.  Sticky: once
     observed true it stays true, and the observation is recorded for

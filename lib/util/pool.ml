@@ -154,6 +154,7 @@ let recover ~supervision ~f ~state ~out failures =
           else if k > 1 && expired () then give_up index worker (k - 1) last
           else
             match
+              Metrics.incr "pool.retries";
               Failpoint.guard "pool.task";
               f (state ()) index
             with
@@ -177,7 +178,9 @@ let map_init ?supervision t ~init ~f xs =
         f s xs.(i)
       with
       | y -> out.(i) <- Some y
-      | exception exn -> push failures (i, (Domain.self () :> int), exn)
+      | exception exn ->
+        Metrics.incr "pool.task_errors";
+        push failures (i, (Domain.self () :> int), exn)
     in
     if t.n_jobs = 1 then begin
       let s = init () in

@@ -25,7 +25,10 @@
 
     Every task execution passes the [pool.task] failpoint site
     ({!Failpoint.guard}), so chaos schedules can crash workers on
-    demand. *)
+    demand.  Supervision is observable: every task failure bumps the
+    [pool.task_errors] counter and every supervised re-execution bumps
+    [pool.retries] ({!Metrics}), so recovery shows up in [--metrics]
+    output instead of happening silently. *)
 
 type t
 

@@ -84,6 +84,34 @@ let test_exhausted_only_after_observation () =
   ignore (Budget.expired b);
   Alcotest.(check bool) "observed" true (Budget.exhausted b)
 
+(* Expiry hooks: the serving runtime counts per-request deadline trips
+   through [on_expiry] instead of polluting every polling site. *)
+let test_on_expiry_fires_once () =
+  let now, set = fake_clock 0. in
+  let b = Budget.of_deadline ~now 5. in
+  let fired = ref 0 in
+  Budget.on_expiry b (fun () -> incr fired);
+  ignore (Budget.expired b);
+  Alcotest.(check int) "not before the deadline" 0 !fired;
+  set 10.;
+  ignore (Budget.expired b);
+  Alcotest.(check int) "fires at the tripping poll" 1 !fired;
+  ignore (Budget.expired b);
+  Alcotest.(check int) "exactly once" 1 !fired;
+  (* Registered after the trip: runs immediately. *)
+  Budget.on_expiry b (fun () -> fired := !fired + 10);
+  Alcotest.(check int) "late hook runs immediately" 11 !fired
+
+let test_on_expiry_order_and_cancel () =
+  let b = Budget.unlimited () in
+  let order = ref [] in
+  Budget.on_expiry b (fun () -> order := "first" :: !order);
+  Budget.on_expiry b (fun () -> order := "second" :: !order);
+  Budget.cancel b;
+  Alcotest.(check (list string)) "cancel alone does not poll" [] !order;
+  ignore (Budget.expired b);
+  Alcotest.(check (list string)) "registration order" [ "second"; "first" ] !order
+
 let () =
   Alcotest.run "budget"
     [
@@ -99,5 +127,8 @@ let () =
           Alcotest.test_case "invalid seconds" `Quick test_invalid;
           Alcotest.test_case "exhausted needs observation" `Quick
             test_exhausted_only_after_observation;
+          Alcotest.test_case "on_expiry fires once" `Quick test_on_expiry_fires_once;
+          Alcotest.test_case "on_expiry order and cancel" `Quick
+            test_on_expiry_order_and_cancel;
         ] );
     ]

@@ -124,6 +124,43 @@ let test_journal_salvage () =
     s.Plan_text.generation;
   Alcotest.(check bool) "previous block is strict" true s.Plan_text.complete
 
+(* Journal edge cases: a journal file with no content at all, and one
+   whose very FIRST block is torn (no earlier complete block to fall
+   back on), must both be rejected with a located diagnostic — never
+   mis-salvaged into a bogus resume — while a torn first block followed
+   by a complete append salvages the complete one. *)
+let test_journal_salvage_edges () =
+  let _, cks = capture_checkpoints () in
+  let first = List.hd cks in
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "journal.txt" in
+  (* Empty journal file. *)
+  Artifact.append_durable path "";
+  (match Plan_text.salvage_checkpoint path with
+  | _ -> Alcotest.fail "empty journal salvaged"
+  | exception Plan_text.Load_error _ -> ());
+  (* Torn first block: the only block is incomplete, nothing salvages. *)
+  let t1 = Plan_text.checkpoint_to_string first in
+  let torn_first =
+    (* Tear on a record boundary, the way a durable append tears. *)
+    let cut = String.rindex_from t1 (String.length t1 / 2) '\n' in
+    String.sub t1 0 (cut + 1)
+  in
+  Artifact.append_durable path torn_first;
+  (match Plan_text.salvage_checkpoint path with
+  | _ -> Alcotest.fail "torn-first-block journal salvaged"
+  | exception Plan_text.Load_error _ -> ());
+  (* A later durable append of a complete block makes the journal
+     salvageable again: the torn prefix is skipped, not fatal. *)
+  Artifact.append_durable path t1;
+  let s = Plan_text.salvage_checkpoint path in
+  Alcotest.(check int) "complete block recovered past the torn prefix"
+    first.Ga.ck_generation s.Plan_text.generation;
+  (* Missing journal: located error, not a crash. *)
+  match Plan_text.salvage_checkpoint (Filename.concat dir "nonexistent.txt") with
+  | _ -> Alcotest.fail "missing journal salvaged"
+  | exception (Plan_text.Load_error _ | Sys_error _) -> ()
+
 (* Crash-consistent writes: under every injected failure the destination
    keeps its previous contents and the directory keeps no litter; the
    reported error names the failing step, not the cleanup. *)
@@ -285,6 +322,7 @@ let () =
             test_salvaged_resume_is_deterministic;
           Alcotest.test_case "plan truncation corpus" `Quick test_plan_truncation_corpus;
           Alcotest.test_case "journal salvage" `Quick test_journal_salvage;
+          Alcotest.test_case "journal salvage edges" `Quick test_journal_salvage_edges;
         ] );
       ( "artifact",
         [

@@ -217,6 +217,89 @@ grep -q "task 2 failed after 1 attempt(s)" "$TMP/err" || {
 expect_exit 0 "supervised pool recovery" "$CLI" compile -m lenet5 -c S -b 4 --quick \
   --failpoints "pool.task=raise@nth:3" --task-retries 2
 
+# --- serving runtime: stdio exchange, envelope statuses, chaos, drain ---
+# One pipelined stdio session: a ping, a quick compile, a malformed
+# request, and a compile whose zero deadline has always already expired
+# by the time it is dequeued.  EOF drains; every request is answered.
+{
+  printf 'request ping-1 ping\nend\n'
+  printf 'request c-1 compile\nmodel lenet5\nchip S\nbatch 4\nseed 3\nend\n'
+  printf 'request bad-1 frobnicate\nend\n'
+  printf 'request t-1 compile\nmodel lenet5\nchip S\nbatch 4\ndeadline 0\nend\n'
+} | "$CLI" serve >"$TMP/serve.out" 2>"$TMP/serve.err"
+got=$?
+if [ "$got" -ne 0 ]; then
+  echo "FAIL: serve stdio session: expected exit 0, got $got" >&2
+  sed 's/^/  stderr: /' "$TMP/serve.err" >&2
+  fails=$((fails + 1))
+fi
+for want in "response ping-1 ok" "response c-1 ok" "response bad-1 error" \
+  "response t-1 timeout"; do
+  grep -q "^$want\$" "$TMP/serve.out" || {
+    echo "FAIL: serve stdio session missing \"$want\"" >&2
+    fails=$((fails + 1))
+  }
+done
+if [ "$(grep -c '^response ' "$TMP/serve.out")" -ne 4 ]; then
+  echo "FAIL: serve stdio session did not answer every request exactly once" >&2
+  fails=$((fails + 1))
+fi
+
+# The same compile under a seeded failpoint schedule: the first
+# execution attempt raises, the bounded retry absorbs it, and the
+# metrics flush proves a retry actually happened.
+{
+  printf 'request ping-1 ping\nend\n'
+  printf 'request c-1 compile\nmodel lenet5\nchip S\nbatch 4\nseed 3\nend\n'
+} | "$CLI" serve --failpoints "serve.request=raise@nth:1" --metrics \
+  >"$TMP/serve_chaos.out" 2>"$TMP/serve_chaos.err"
+got=$?
+if [ "$got" -ne 0 ]; then
+  echo "FAIL: serve chaos session: expected exit 0, got $got" >&2
+  sed 's/^/  stderr: /' "$TMP/serve_chaos.err" >&2
+  fails=$((fails + 1))
+fi
+grep -q "^response c-1 ok\$" "$TMP/serve_chaos.out" || {
+  echo "FAIL: serve chaos session: injected transient not retried to ok" >&2
+  fails=$((fails + 1))
+}
+if ! grep "serve.retries" "$TMP/serve_chaos.out" | grep -q "[1-9]"; then
+  echo "FAIL: serve chaos session reported zero serve.retries in --metrics" >&2
+  fails=$((fails + 1))
+fi
+
+# SIGTERM drains: the in-flight session is answered, the daemon exits 0.
+mkfifo "$TMP/serve.fifo"
+"$CLI" serve <"$TMP/serve.fifo" >"$TMP/drain.out" 2>"$TMP/drain.err" &
+serve_pid=$!
+exec 9>"$TMP/serve.fifo"
+printf 'request d-1 ping\nend\n' >&9
+answered=0
+for _ in $(seq 1 100); do
+  if grep -q "^response d-1 ok\$" "$TMP/drain.out" 2>/dev/null; then
+    answered=1
+    break
+  fi
+  sleep 0.05
+done
+if [ "$answered" -ne 1 ]; then
+  echo "FAIL: serve drain: no response before SIGTERM" >&2
+  fails=$((fails + 1))
+fi
+kill -TERM "$serve_pid"
+exec 9>&-
+wait "$serve_pid"
+got=$?
+if [ "$got" -ne 0 ]; then
+  echo "FAIL: serve SIGTERM drain: expected exit 0, got $got" >&2
+  sed 's/^/  stderr: /' "$TMP/drain.err" >&2
+  fails=$((fails + 1))
+fi
+grep -q "drained" "$TMP/drain.err" || {
+  echo "FAIL: serve drain did not report the drained response count" >&2
+  fails=$((fails + 1))
+}
+
 # The self-check drill exercises the whole chaos stack end to end.
 expect_exit 0 "doctor" "$CLI" doctor
 grep -q "doctor: all .* checks passed" "$TMP/out" || {

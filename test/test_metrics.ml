@@ -161,6 +161,62 @@ let test_dp_counters_match_stats () =
       Alcotest.(check int) "dp.group_evaluations" s.Optimal.group_evaluations
         (metric "dp.group_evaluations"))
 
+(* Latency histograms: power-of-two buckets, so a quantile estimate is
+   an upper bound within a factor of two of the true order statistic,
+   and bucket-count merging is associative like counters — worker-count
+   independent by construction. *)
+let test_histogram_quantiles () =
+  with_metrics (fun () ->
+      (* 100 samples 0.001..0.100: true p50 = 0.050, true p99 = 0.099. *)
+      for i = 1 to 100 do
+        Metrics.observe "lat" (float_of_int i /. 1000.)
+      done;
+      let quantile q =
+        match Metrics.quantile "lat" q with
+        | Some v -> v
+        | None -> Alcotest.fail "histogram missing"
+      in
+      let in_bound ~true_v got =
+        got >= true_v && got <= 2. *. true_v
+      in
+      Alcotest.(check bool) "p50 within a factor of two" true
+        (in_bound ~true_v:0.050 (quantile 0.5));
+      Alcotest.(check bool) "p99 within a factor of two" true
+        (in_bound ~true_v:0.099 (quantile 0.99));
+      Alcotest.(check bool) "quantiles monotone" true
+        (quantile 0.5 <= quantile 0.99);
+      Alcotest.(check int) "count surfaces" 100 (metric "lat.count");
+      (* Snapshot carries derived p50/p99 rows. *)
+      let snap = Metrics.snapshot () in
+      Alcotest.(check bool) "snapshot has p50 and p99" true
+        (List.mem_assoc "lat.p50" snap && List.mem_assoc "lat.p99" snap);
+      (* Bad quantiles and type clashes are loud. *)
+      (match Metrics.quantile "lat" 1.5 with
+      | _ -> Alcotest.fail "q > 1 accepted"
+      | exception Invalid_argument _ -> ());
+      match Metrics.incr "lat" with
+      | _ -> Alcotest.fail "incr on a histogram accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_histogram_merges_across_domains () =
+  (* Observations from pool workers merge exactly like counters: total
+     count equals the sum, independent of the worker count. *)
+  let counts =
+    List.map
+      (fun jobs ->
+        with_metrics (fun () ->
+            Compass_util.Pool.with_pool ~jobs (fun p ->
+                ignore
+                  (Compass_util.Pool.map p
+                     (fun i ->
+                       Metrics.observe "work" (float_of_int (1 + (i mod 7)));
+                       i)
+                     (Array.init 64 Fun.id)));
+            metric "work.count"))
+      [ 1; 4 ]
+  in
+  Alcotest.(check (list int)) "count independent of workers" [ 64; 64 ] counts
+
 let () =
   Alcotest.run "metrics"
     [
@@ -175,5 +231,11 @@ let () =
           Alcotest.test_case "dp counters match stats" `Quick
             test_dp_counters_match_stats;
           Alcotest.test_case "full compile catalogue" `Quick test_full_compile_catalogue;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles bounded" `Quick test_histogram_quantiles;
+          Alcotest.test_case "merges across domains" `Quick
+            test_histogram_merges_across_domains;
         ] );
     ]

@@ -144,6 +144,33 @@ let test_transient_clears_on_retry () =
   Alcotest.(check int) "no remap needed" 0 r.Recovery.remaps;
   Alcotest.(check bool) "backoff accounted" true (r.Recovery.backoff_total_s > 0.)
 
+(* Satellite regression: recovery backoff is *simulated* — accumulated
+   in [backoff_total_s] and offered to the [sleep] hook — and the
+   default policy never blocks on the wall clock.  Seconds of reported
+   backoff must cost a small fraction of that in real time, and an
+   injected hook must see exactly the accumulated intervals. *)
+let test_backoff_simulated_not_slept () =
+  let chip, plan, weights, input = plan_weights_input () in
+  let faults = faults_of "transient:2" ~seed:0 chip in
+  let slept = ref [] in
+  let policy =
+    {
+      Recovery.default_policy with
+      Recovery.backoff_s = 2.0;
+      sleep = (fun s -> slept := s :: !slept);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Recovery.run ~policy ~seed:42 ~faults ~weights ~input plan in
+  let wall = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "retried" true (r.Recovery.retries >= 1);
+  Alcotest.(check (float 1e-9)) "hook saw every interval" r.Recovery.backoff_total_s
+    (List.fold_left ( +. ) 0. !slept);
+  Alcotest.(check bool) "substantial simulated backoff" true
+    (r.Recovery.backoff_total_s >= 2.0);
+  Alcotest.(check bool) "wall-time-free by default" true
+    (wall < r.Recovery.backoff_total_s /. 2.)
+
 let test_remap_disabled_degrades () =
   let chip, plan, weights, input = plan_weights_input () in
   let faults = faults_of "flip:1" ~seed:0 chip in
@@ -327,6 +354,8 @@ let () =
           Alcotest.test_case "clean run" `Quick test_clean_run_reports_clean;
           QCheck_alcotest.to_alcotest prop_single_persistent_fault_heals;
           Alcotest.test_case "transient retry" `Quick test_transient_clears_on_retry;
+          Alcotest.test_case "backoff simulated not slept" `Quick
+            test_backoff_simulated_not_slept;
           Alcotest.test_case "remap disabled" `Quick test_remap_disabled_degrades;
           Alcotest.test_case "expired budget" `Quick test_expired_budget_degrades;
           Alcotest.test_case "retire" `Quick test_retire_preserves_scenario;
